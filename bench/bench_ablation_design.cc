@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Ablations of the design choices DESIGN.md calls out, beyond what the
+ * paper evaluates. Rows are Noreba variants; columns are the geomean
+ * speedup over InO-C on a representative subset, plus the prior-work
+ * baselines (NonSpeculative-OoO and the Validation Buffer of Petit et
+ * al., the paper's Table 4 rows).
+ *
+ *  - instance ordering off: the paper's literal Table 1 (unsound for
+ *    same-site loop-carried flows; see EXPERIMENTS.md "Findings");
+ *  - CIT sizes: the commit-ahead capacity analysis;
+ *  - steer width: the ROB'-head bandwidth;
+ *  - single large queue vs paper 2x8: the multi-queue argument of
+ *    Section 4.2 (Listing 1);
+ *  - prefetcher off: interaction with DCPT (Figure 13 on SKL).
+ */
+
+#include <functional>
+
+#include "bench_util.h"
+
+using namespace noreba;
+using namespace noreba::benchutil;
+
+namespace {
+
+std::vector<std::string>
+subset()
+{
+    if (std::getenv("NOREBA_WORKLOADS"))
+        return selectedWorkloads();
+    return {"mcf", "CRC32", "libquantum", "omnetpp", "bzip2",
+            "astar", "dijkstra", "bitcount"};
+}
+
+double
+geomeanFor(const std::function<void(CoreConfig &)> &tweak)
+{
+    Geomean geo;
+    for (const auto &name : subset()) {
+        const TraceBundle &bundle = bundleFor(name);
+        CoreConfig ino = skylakeConfig();
+        ino.commitMode = CommitMode::InOrder;
+        CoreStats base = simulate(ino, bundle);
+
+        CoreConfig cfg = skylakeConfig();
+        cfg.commitMode = CommitMode::Noreba;
+        tweak(cfg);
+        geo.sample(speedup(base, simulate(cfg, bundle)));
+    }
+    return geo.value();
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Design ablations",
+                "Noreba variants and prior-work baselines, geomean "
+                "speedup over InO-C on a representative subset");
+
+    TextTable table;
+    table.setHeader({"variant", "geomean speedup", "delta vs default"});
+
+    double base = geomeanFor([](CoreConfig &) {});
+    auto row = [&](const char *name, double v) {
+        table.addRow({name, fmtDouble(v, 3),
+                      fmtPercent(v / base - 1.0)});
+    };
+
+    row("Noreba (default: sound, 2x8 CQs, CIT 128)", base);
+    row("no same-site instance ordering (paper Tab.1)",
+        geomeanFor([](CoreConfig &c) {
+            c.srob.enforceInstanceOrder = false;
+        }));
+    row("CIT 32", geomeanFor([](CoreConfig &c) {
+            c.srob.citEntries = 32;
+        }));
+    row("CIT 512", geomeanFor([](CoreConfig &c) {
+            c.srob.citEntries = 512;
+        }));
+    row("CIT 4096 (~unbounded)", geomeanFor([](CoreConfig &c) {
+            c.srob.citEntries = 4096;
+        }));
+    row("steer width 2", geomeanFor([](CoreConfig &c) {
+            c.steerWidth = 2;
+        }));
+    row("steer width 8", geomeanFor([](CoreConfig &c) {
+            c.steerWidth = 8;
+        }));
+    row("one 16-entry BR-CQ (same capacity as 2x8)",
+        geomeanFor([](CoreConfig &c) {
+            c.srob.numBrCqs = 1;
+            c.srob.brCqEntries = 16;
+        }));
+    row("4x16 BR-CQs", geomeanFor([](CoreConfig &c) {
+            c.srob.numBrCqs = 4;
+            c.srob.brCqEntries = 16;
+        }));
+    row("no DCPT prefetcher", geomeanFor([](CoreConfig &c) {
+            c.prefetcher = false;
+        }));
+    std::printf("%s\n", table.render().c_str());
+
+    // Prior-work baselines on the same subset.
+    TextTable prior;
+    prior.setHeader({"baseline (paper Table 4)", "geomean speedup"});
+    for (CommitMode mode :
+         {CommitMode::NonSpecOoO, CommitMode::ValidationBuffer,
+          CommitMode::IdealReconv, CommitMode::SpeculativeBR}) {
+        Geomean geo;
+        for (const auto &name : subset()) {
+            const TraceBundle &bundle = bundleFor(name);
+            CoreConfig ino = skylakeConfig();
+            ino.commitMode = CommitMode::InOrder;
+            CoreStats b = simulate(ino, bundle);
+            CoreConfig cfg = skylakeConfig();
+            cfg.commitMode = mode;
+            geo.sample(speedup(b, simulate(cfg, bundle)));
+        }
+        prior.addRow({commitModeName(mode),
+                      fmtDouble(geo.value(), 3)});
+    }
+    std::printf("%s\n", prior.render().c_str());
+    std::printf("Expected: ValidationBuffer <= NonSpeculative-OoO-C "
+                "<< Noreba; CIT and queue sizes saturate near the "
+                "paper's Table 2 values\n");
+    return 0;
+}

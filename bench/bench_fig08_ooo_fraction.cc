@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 8: fraction of dynamic instructions committed out-of-order by
+ * Noreba, per benchmark (Skylake-like core). Paper result: apps with
+ * little improvement (bzip2, dijkstra) commit almost nothing OoO; the
+ * best cases (CRC, mcf) commit more than 20%.
+ */
+
+#include "bench_util.h"
+
+using namespace noreba;
+using namespace noreba::benchutil;
+
+int
+main()
+{
+    printHeader("Figure 8 (OoO-committed instructions)",
+                "Dynamic instructions committed out of order under "
+                "Noreba, Skylake-like core");
+
+    TextTable table;
+    table.setHeader({"benchmark", "committed",
+                     "past unresolved branch", "past in-order frontier"});
+    for (const auto &name : selectedWorkloads()) {
+        const TraceBundle &bundle = bundleFor(name);
+        CoreConfig cfg = skylakeConfig();
+        cfg.commitMode = CommitMode::Noreba;
+        CoreStats s = simulate(cfg, bundle);
+        table.addRow({name, std::to_string(s.committedInsts),
+                      fmtPercent(s.oooCommitFraction()),
+                      fmtPercent(s.aheadCommitFraction())});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Expected shape: bzip2/dijkstra near zero; CRC32 and "
+                "mcf above 20%% (paper). Our commit stage reclaims\n"
+                "resources before completion (footnote-1 C1 "
+                "relaxation), so both fractions run higher than the\n"
+                "paper's; the winners/losers split is the reproduced "
+                "shape.\n");
+    return 0;
+}

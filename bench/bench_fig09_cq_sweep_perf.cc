@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 9: performance of Selective ROB configurations (number of
+ * BR-CQs x entries per CQ) for ROB' sizes 224 and 128, normalized to
+ * the Ideal Reconvergence-OoO-C processor with the same ROB size.
+ * Paper result: performance saturates at 2 BR-CQs with 8 entries each,
+ * reaching ~99% of the ideal implementation.
+ *
+ * Runs a representative subset (one per behaviour class) to keep the
+ * sweep tractable; override with NOREBA_WORKLOADS to run more.
+ */
+
+#include "bench_util.h"
+
+using namespace noreba;
+using namespace noreba::benchutil;
+
+namespace {
+
+std::vector<std::string>
+sweepWorkloads()
+{
+    if (std::getenv("NOREBA_WORKLOADS"))
+        return selectedWorkloads();
+    return {"mcf", "CRC32", "libquantum", "omnetpp", "bzip2", "astar"};
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Figure 9 (Selective ROB sizing)",
+                "Geomean performance vs Ideal Reconvergence-OoO-C of "
+                "the same ROB' size");
+
+    const int robSizes[] = {224, 128};
+    const int numCqs[] = {1, 2, 4};
+    const int entries[] = {4, 8, 16, 32};
+
+    for (int rob : robSizes) {
+        std::printf("ROB' = %d entries\n", rob);
+        TextTable table;
+        table.setHeader({"config", "4-entry CQs", "8-entry CQs",
+                         "16-entry CQs", "32-entry CQs"});
+
+        // Ideal baseline per workload at this ROB size.
+        std::map<std::string, double> idealCycles;
+        for (const auto &name : sweepWorkloads()) {
+            CoreConfig cfg = skylakeConfig();
+            cfg.robEntries = rob;
+            cfg.commitMode = CommitMode::IdealReconv;
+            idealCycles[name] = static_cast<double>(
+                simulate(cfg, bundleFor(name)).cycles);
+        }
+
+        for (int nq : numCqs) {
+            std::vector<std::string> row{
+                std::to_string(nq) + " BR-CQ" + (nq > 1 ? "s" : "")};
+            for (int ent : entries) {
+                Geomean geo;
+                for (const auto &name : sweepWorkloads()) {
+                    CoreConfig cfg = skylakeConfig();
+                    cfg.robEntries = rob;
+                    cfg.commitMode = CommitMode::Noreba;
+                    cfg.srob.numBrCqs = nq;
+                    cfg.srob.brCqEntries = ent;
+                    cfg.srob.prCqEntries = ent;
+                    CoreStats s = simulate(cfg, bundleFor(name));
+                    geo.sample(idealCycles[name] /
+                               static_cast<double>(s.cycles));
+                }
+                row.push_back(fmtDouble(geo.value(), 3));
+            }
+            table.addRow(row);
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+    std::printf("Expected shape: saturation around 2 BR-CQs x 8 "
+                "entries (paper: 99%% of ideal at 2x8)\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 10: power of the Selective ROB configurations of Figure 9,
+ * normalized to the minimum configuration (1 BR-CQ x 4 entries).
+ * Paper result: the FIFO queues keep power nearly flat across useful
+ * sizes; it only grows to prohibitive values for configurations far
+ * beyond what performance needs.
+ */
+
+#include "bench_util.h"
+
+using namespace noreba;
+using namespace noreba::benchutil;
+
+namespace {
+
+std::vector<std::string>
+sweepWorkloads()
+{
+    if (std::getenv("NOREBA_WORKLOADS"))
+        return selectedWorkloads();
+    return {"mcf", "CRC32", "libquantum", "omnetpp", "bzip2", "astar"};
+}
+
+double
+avgPower(int nq, int ent)
+{
+    Geomean geo;
+    for (const auto &name : sweepWorkloads()) {
+        CoreConfig cfg = skylakeConfig();
+        cfg.commitMode = CommitMode::Noreba;
+        cfg.srob.numBrCqs = nq;
+        cfg.srob.brCqEntries = ent;
+        cfg.srob.prCqEntries = ent;
+        CoreStats s = simulate(cfg, benchutil::bundleFor(name));
+        geo.sample(computePower(cfg, s).totalWatts());
+    }
+    return geo.value();
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Figure 10 (Selective ROB power)",
+                "Total power of Selective ROB configurations, "
+                "normalized to the minimum (1 BR-CQ x 4 entries)");
+
+    const int numCqs[] = {1, 2, 4, 8};
+    const int entries[] = {4, 8, 16, 32, 64};
+
+    double minPower = avgPower(1, 4);
+
+    TextTable table;
+    table.setHeader({"config", "4-entry", "8-entry", "16-entry",
+                     "32-entry", "64-entry"});
+    for (int nq : numCqs) {
+        std::vector<std::string> row{
+            std::to_string(nq) + " BR-CQ" + (nq > 1 ? "s" : "")};
+        for (int ent : entries)
+            row.push_back(fmtDouble(avgPower(nq, ent) / minPower, 3));
+        table.addRow(row);
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Expected shape: near-flat for useful sizes (2x8), "
+                "superlinear growth only for very large queue groups\n");
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 11: performance impact of the setup instructions
+ * (setBranchId/setDependency occupy fetch slots and are dropped at
+ * decode) versus a perfect design that needs no setup instructions.
+ * Paper result: on average only a 3% performance overhead.
+ */
+
+#include "bench_util.h"
+
+using namespace noreba;
+using namespace noreba::benchutil;
+
+int
+main()
+{
+    printHeader("Figure 11 (setup-instruction overhead)",
+                "Noreba with setup instructions vs a perfect design "
+                "with the same guard information and no setup fetches");
+
+    TextTable table;
+    table.setHeader({"benchmark", "setup insts", "fetch overhead",
+                     "cycles (setup)", "cycles (perfect)",
+                     "perf overhead"});
+    Geomean geo;
+    for (const auto &name : selectedWorkloads()) {
+        const TraceBundle &with = bundleFor(name);
+        const TraceBundle &perfect =
+            bundleFor(name, /*annotate=*/true, /*stripSetups=*/true);
+
+        CoreConfig cfg = skylakeConfig();
+        cfg.commitMode = CommitMode::Noreba;
+        CoreStats sWith = simulate(cfg, with);
+        CoreStats sPerf = simulate(cfg, perfect);
+
+        double fetchOverhead =
+            with.trace.dynInsts
+                ? static_cast<double>(with.trace.setupInsts) /
+                      static_cast<double>(with.trace.dynInsts)
+                : 0.0;
+        double perf = static_cast<double>(sWith.cycles) /
+                          static_cast<double>(sPerf.cycles) -
+                      1.0;
+        geo.sample(static_cast<double>(sWith.cycles) /
+                   static_cast<double>(sPerf.cycles));
+        table.addRow({name, std::to_string(with.trace.setupInsts),
+                      fmtPercent(fetchOverhead),
+                      std::to_string(sWith.cycles),
+                      std::to_string(sPerf.cycles), fmtPercent(perf)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("geomean performance overhead: %s (paper: ~3%%)\n",
+                fmtPercent(geo.value() - 1.0).c_str());
+    return 0;
+}

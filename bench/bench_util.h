@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Shared glue for the figure/table reproduction benches: suite trace
+ * caching, speedup tables, and consistent headers. Every bench prints
+ * the rows/series of one paper figure or table (see DESIGN.md's
+ * per-experiment index); absolute values are model-specific, the
+ * *shape* (who wins, by roughly what factor) is the reproduction
+ * target.
+ *
+ * Environment knobs:
+ *   NOREBA_TRACE_LEN   dynamic instructions per workload (default
+ *                      250000)
+ *   NOREBA_WORKLOADS   comma-separated subset of workload names
+ */
+
+#ifndef NOREBA_BENCH_BENCH_UTIL_H
+#define NOREBA_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "power/power_model.h"
+#include "sim/runner.h"
+
+namespace noreba::benchutil {
+
+inline uint64_t
+traceLen()
+{
+    const char *env = std::getenv("NOREBA_TRACE_LEN");
+    uint64_t parsed = env ? std::strtoull(env, nullptr, 10) : 0;
+    // Unset, unparsable or zero all mean "the default".
+    return parsed ? parsed : 250000ull;
+}
+
+/** Selected workload names (honours NOREBA_WORKLOADS). */
+inline std::vector<std::string>
+selectedWorkloads()
+{
+    const char *env = std::getenv("NOREBA_WORKLOADS");
+    if (!env)
+        return workloadNames();
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char *c = env;; ++c) {
+        if (*c == ',' || *c == '\0') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+            if (*c == '\0')
+                break;
+        } else {
+            cur.push_back(*c);
+        }
+    }
+    return out;
+}
+
+/** SPEC-suite subset (Figure 1 evaluates SPEC only). */
+inline std::vector<std::string>
+specWorkloads()
+{
+    std::vector<std::string> out;
+    for (const auto &desc : workloadRegistry())
+        if (desc.suite == "spec")
+            out.push_back(desc.name);
+    return out;
+}
+
+/** Build (and cache per process) the trace bundle for one workload. */
+inline const TraceBundle &
+bundleFor(const std::string &name, bool annotate = true,
+          bool stripSetups = false)
+{
+    struct Key
+    {
+        std::string name;
+        bool annotate;
+        bool strip;
+        bool operator<(const Key &o) const
+        {
+            if (name != o.name)
+                return name < o.name;
+            if (annotate != o.annotate)
+                return annotate < o.annotate;
+            return strip < o.strip;
+        }
+    };
+    static std::map<Key, TraceBundle> cache;
+    Key key{name, annotate, stripSetups};
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        TraceOptions opts;
+        opts.maxDynInsts = traceLen();
+        opts.annotate = annotate;
+        opts.stripSetups = stripSetups;
+        it = cache.emplace(key, prepareTrace(name, opts)).first;
+    }
+    return it->second;
+}
+
+/** Header printed by every bench. */
+inline void
+printHeader(const char *experiment, const char *description)
+{
+    std::printf("==============================================================\n");
+    std::printf("NOREBA reproduction — %s\n", experiment);
+    std::printf("%s\n", description);
+    std::printf("trace length: %llu dynamic instructions per workload\n",
+                static_cast<unsigned long long>(traceLen()));
+    std::printf("==============================================================\n");
+}
+
+} // namespace noreba::benchutil
+
+#endif // NOREBA_BENCH_BENCH_UTIL_H

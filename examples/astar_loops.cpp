@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Listing 1 of the paper: astar's two *independent* for-loops. A
+ * static compiler cannot decide which loop ordering performs best (it
+ * depends on runtime criticality), so it must not reorder them; NOREBA
+ * commits whatever independent work is ready regardless of source
+ * order.
+ *
+ * This example builds both orderings of the two loops, runs each on
+ * the in-order baseline and on NOREBA, and shows that (a) in-order
+ * commit performance depends on the loop order, while (b) NOREBA
+ * recovers the stall either way, narrowing the gap between orderings.
+ *
+ * Build & run:  ./build/examples/astar_loops
+ */
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "compiler/branch_dep.h"
+#include "interp/interpreter.h"
+#include "ir/builder.h"
+#include "sim/runner.h"
+#include "uarch/branch_predictor.h"
+#include "uarch/core.h"
+
+using namespace noreba;
+
+namespace {
+
+struct LoopIds
+{
+    int head;
+    int body; // loop 2 only
+    int skip; // loop 2 only
+};
+
+/** Listing 1 with the two loops in the given order. */
+Program
+buildAstarLoops(bool clearFirst)
+{
+    Rng rng(11);
+    Program prog(clearFirst ? "clear-then-scan" : "scan-then-clear");
+
+    const int64_t npool = 4000;    // region structs (cache resident)
+    const int64_t nr = 12000;      // rarp entries
+    const int64_t map = 1 << 19;   // 4 MB region map (misses)
+
+    uint64_t pool = prog.allocGlobal(static_cast<uint64_t>(npool) * 16);
+    uint64_t rarp = prog.allocGlobal(static_cast<uint64_t>(nr) * 8);
+    uint64_t regmap = prog.allocGlobal(static_cast<uint64_t>(map) * 8);
+    for (int64_t i = 0; i < nr; ++i)
+        prog.poke64(rarp + static_cast<uint64_t>(i) * 8,
+                    pool + rng.below(npool) * 16);
+    for (int64_t i = 0; i < map; ++i)
+        prog.poke64(regmap + static_cast<uint64_t>(i) * 8,
+                    rng.chance(0.12) ? 0 : pool + rng.below(npool) * 16);
+
+    const AliasRegion R_POOL = 1, R_RARP = 2, R_MAP = 3;
+    IRBuilder b(prog);
+    int entry = b.newBlock("entry");
+    int l1 = b.newBlock("clear_loop");
+    int l2 = b.newBlock("scan_loop");
+    int l2body = b.newBlock("scan_body");
+    int l2skip = b.newBlock("scan_next");
+    int done = b.newBlock("done");
+
+    const int64_t scanIters = 12000;
+    b.at(entry)
+        .li(S2, static_cast<int64_t>(rarp))
+        .li(S3, 0)
+        .li(S4, nr)
+        .li(S5, static_cast<int64_t>(regmap))
+        .li(S6, 0)
+        .li(S7, scanIters)
+        .li(S8, 0)
+        .li(S9, 0)
+        .li(S10, map - 1)
+        .li(S11, 0x9e3779b9)
+        .fallthrough(clearFirst ? l1 : l2);
+
+    // for (i = 0; i < rarp.elemqu; i++) { rarp[i]->centerp = {0,0}; }
+    b.at(l1)
+        .slli(T0, S3, 3)
+        .add(T0, S2, T0)
+        .ld(T1, T0, 0, R_RARP)
+        .sw(ZERO, T1, 0, R_POOL)
+        .sw(ZERO, T1, 8, R_POOL)
+        .addi(S3, S3, 1)
+        .blt(S3, S4, l1, clearFirst ? l2 : done);
+
+    // for (y...) for (x...) { regionp = regmapp(x,y); if (regionp)... }
+    b.at(l2)
+        .mul(T0, S6, S11)
+        .srli(T0, T0, 13)
+        .and_(T0, T0, S10)
+        .slli(T0, T0, 3)
+        .add(T0, S5, T0)
+        .ld(T2, T0, 0, R_MAP)         // regionp: misses
+        .addi(S8, S8, 1)              // x/y bookkeeping
+        .andi(S9, S8, 1023)
+        .bne(T2, ZERO, l2body, l2skip);
+
+    b.at(l2body)
+        .lw(T3, T2, 0, R_POOL)
+        .add(T3, T3, S8)
+        .sw(T3, T2, 0, R_POOL)
+        .lw(T4, T2, 8, R_POOL)
+        .add(T4, T4, S9)
+        .sw(T4, T2, 8, R_POOL)
+        .jump(l2skip);
+
+    b.at(l2skip)
+        .addi(S6, S6, 1)
+        .blt(S6, S7, l2, clearFirst ? done : l1);
+
+    b.at(done).halt();
+    prog.finalize();
+    return prog;
+}
+
+uint64_t
+cyclesFor(Program &prog, CommitMode mode)
+{
+    Interpreter interp(prog);
+    DynamicTrace trace = interp.run();
+    std::vector<uint8_t> misp = precomputeMispredictions(trace);
+    CoreConfig cfg = skylakeConfig();
+    cfg.commitMode = mode;
+    return Core(cfg, trace, misp).run().cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Listing 1: two independent loops whose best ordering "
+                "a static compiler cannot determine.\n\n");
+
+    TextTable table;
+    table.setHeader({"loop order", "InO-C cycles", "Noreba cycles",
+                     "Noreba speedup"});
+    double ino[2], nor[2];
+    int i = 0;
+    for (bool clearFirst : {true, false}) {
+        Program prog = buildAstarLoops(clearFirst);
+        runBranchDependencePass(prog);
+        ino[i] = static_cast<double>(
+            cyclesFor(prog, CommitMode::InOrder));
+        nor[i] = static_cast<double>(
+            cyclesFor(prog, CommitMode::Noreba));
+        table.addRow({prog.name(),
+                      std::to_string(static_cast<uint64_t>(ino[i])),
+                      std::to_string(static_cast<uint64_t>(nor[i])),
+                      fmtDouble(ino[i] / nor[i], 3)});
+        ++i;
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    double inoGap = ino[0] > ino[1] ? ino[0] / ino[1] : ino[1] / ino[0];
+    double norGap = nor[0] > nor[1] ? nor[0] / nor[1] : nor[1] / nor[0];
+    std::printf("ordering sensitivity (max/min cycles): InO-C %.3f, "
+                "Noreba %.3f\n",
+                inoGap, norGap);
+    std::printf("NOREBA commits the independent instructions that are "
+                "ready regardless of the order the compiler chose.\n");
+    return 0;
+}

@@ -1,0 +1,54 @@
+#include "common/logging.h"
+
+#include <cstdarg>
+#include <vector>
+
+namespace noreba {
+
+std::string
+strfmt(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    if (len < 0) {
+        va_end(args_copy);
+        return std::string(fmt);
+    }
+    std::vector<char> buf(static_cast<size_t>(len) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args_copy);
+    va_end(args_copy);
+    return std::string(buf.data(), static_cast<size_t>(len));
+}
+
+void
+logMessage(LogLevel level, const char *where, const std::string &msg)
+{
+    const char *prefix = "info";
+    switch (level) {
+      case LogLevel::Inform: prefix = "info"; break;
+      case LogLevel::Warn:   prefix = "warn"; break;
+      case LogLevel::Fatal:  prefix = "fatal"; break;
+      case LogLevel::Panic:  prefix = "panic"; break;
+    }
+    std::fprintf(stderr, "%s: %s (%s)\n", prefix, msg.c_str(), where);
+}
+
+void
+panicImpl(const char *where, const std::string &msg)
+{
+    logMessage(LogLevel::Panic, where, msg);
+    std::abort();
+}
+
+void
+fatalImpl(const char *where, const std::string &msg)
+{
+    logMessage(LogLevel::Fatal, where, msg);
+    std::exit(1);
+}
+
+} // namespace noreba

@@ -1,0 +1,83 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace noreba {
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+    rows_.clear();
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    panic_if(!header_.empty() && row.size() != header_.size(),
+             "table row arity %zu != header arity %zu",
+             row.size(), header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::render() const
+{
+    size_t cols = header_.size();
+    for (const auto &r : rows_)
+        cols = std::max(cols, r.size());
+
+    std::vector<size_t> width(cols, 0);
+    auto widen = [&width](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i)
+            width[i] = std::max(width[i], row[i].size());
+    };
+    widen(header_);
+    for (const auto &r : rows_)
+        widen(r);
+
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                out << "  ";
+            out << row[i];
+            if (i + 1 < row.size())
+                out << std::string(width[i] - row[i].size(), ' ');
+        }
+        out << '\n';
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        size_t total = 0;
+        for (size_t i = 0; i < cols; ++i)
+            total += width[i] + (i ? 2 : 0);
+        out << std::string(total, '-') << '\n';
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    return out.str();
+}
+
+std::string
+fmtDouble(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+fmtPercent(double ratio, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, ratio * 100.0);
+    return buf;
+}
+
+} // namespace noreba

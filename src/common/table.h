@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Plain-text table formatting for the benchmark harnesses. Every
+ * figure/table bench prints its rows through TextTable so that output is
+ * aligned, machine-greppable, and consistent across experiments.
+ */
+
+#ifndef NOREBA_COMMON_TABLE_H
+#define NOREBA_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace noreba {
+
+/** A simple column-aligned text table. */
+class TextTable
+{
+  public:
+    /** Set the header row. Resets any previously added rows. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one row; it must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render the table, with a rule under the header. */
+    std::string render() const;
+
+    size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given number of decimals. */
+std::string fmtDouble(double v, int decimals = 3);
+
+/** Format a ratio as a percentage string, e.g. 0.042 -> "4.2%". */
+std::string fmtPercent(double ratio, int decimals = 1);
+
+} // namespace noreba
+
+#endif // NOREBA_COMMON_TABLE_H

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Functional (architectural) simulator for IR programs. Executes a
+ * Program and emits the dynamic trace the timing model replays. The
+ * interpreter also replays the BIT/DCT setup-instruction semantics of
+ * Table 1 architecturally, so every trace record carries its dynamic
+ * guard branch.
+ */
+
+#ifndef NOREBA_INTERP_INTERPRETER_H
+#define NOREBA_INTERP_INTERPRETER_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "interp/trace.h"
+#include "ir/program.h"
+
+namespace noreba {
+
+/** Sparse byte-addressed memory image (4 KiB pages). */
+class MemoryImage
+{
+  public:
+    static constexpr uint64_t PAGE_BYTES = 4096;
+
+    uint8_t read8(uint64_t addr) const;
+    void write8(uint64_t addr, uint8_t value);
+
+    uint64_t read(uint64_t addr, int bytes) const;
+    void write(uint64_t addr, uint64_t value, int bytes);
+
+    size_t numPages() const { return pages_.size(); }
+
+  private:
+    using Page = std::array<uint8_t, PAGE_BYTES>;
+    mutable std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+
+    Page &page(uint64_t addr) const;
+};
+
+/** Interpreter run options. */
+struct InterpOptions
+{
+    /** Stop after this many dynamic instructions (setups excluded). */
+    uint64_t maxDynInsts = 2'000'000;
+    /** Emit a trace (false = architectural run only, for checksums). */
+    bool emitTrace = true;
+};
+
+/** Executes one Program. */
+class Interpreter
+{
+  public:
+    explicit Interpreter(const Program &prog);
+
+    /** Run to HALT (or the instruction limit); returns the trace. */
+    DynamicTrace run(const InterpOptions &opts = {});
+
+    /** @name Final architectural state (after run()) @{ */
+    int64_t intReg(int r) const { return x_[r]; }
+    double fpReg(int r) const { return f_[r]; }
+    const MemoryImage &memory() const { return mem_; }
+
+    /** FNV-1a checksum over registers, for result-equivalence tests. */
+    uint64_t regChecksum() const;
+    /** @} */
+
+  private:
+    const Program &prog_;
+    std::array<int64_t, NUM_INT_REGS> x_{};
+    std::array<double, NUM_FP_REGS> f_{};
+    MemoryImage mem_;
+};
+
+} // namespace noreba
+
+#endif // NOREBA_INTERP_INTERPRETER_H

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Dynamic trace format produced by the functional interpreter and
+ * consumed by the cycle-level core model. One record per fetched
+ * instruction (setup instructions included — they occupy fetch slots
+ * and are dropped at decode, as in the paper).
+ */
+
+#ifndef NOREBA_INTERP_TRACE_H
+#define NOREBA_INTERP_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace noreba {
+
+/** Index of a dynamic instruction within its trace. */
+using TraceIdx = int32_t;
+constexpr TraceIdx TRACE_NONE = -1;
+
+/** One dynamic instruction. */
+struct TraceRecord
+{
+    uint64_t pc = 0;
+    uint64_t nextPc = 0;     //!< PC actually executed next
+    uint64_t addrOrImm = 0;  //!< memory address, or setup-instruction imm
+    Opcode op = Opcode::NOP;
+    uint8_t memSize = 0;
+    bool taken = false;      //!< conditional branch outcome
+    bool markedBranch = false; //!< a setBranchId immediately preceded it
+    /**
+     * The covering setDependency carried the order-sensitive flag: the
+     * instruction consumes values flowing through its guard's region,
+     * so the guard's static site needs in-order instance retirement.
+     */
+    bool orderSensitive = false;
+    /** Strict region: retire only when no older branch is unresolved. */
+    bool orderStrict = false;
+    Reg rd = REG_NONE;
+    Reg rs1 = REG_NONE;
+    Reg rs2 = REG_NONE;
+    Reg rs3 = REG_NONE;
+
+    /**
+     * Dynamic guard: trace index of the branch instance this
+     * instruction was marked dependent on, via the architectural
+     * BIT/DCT replay of the setup instructions (TRACE_NONE = BranchID 0,
+     * i.e. independent / unannotated).
+     */
+    TraceIdx guardIdx = TRACE_NONE;
+
+    bool isSetup() const { return noreba::isSetup(op); }
+    bool isCondBr() const { return isCondBranch(op); }
+    /** Any control-flow instruction the predictor must handle. */
+    bool isBranchSite() const
+    {
+        return isCondBranch(op) || op == Opcode::JALR;
+    }
+};
+
+/** A full dynamic trace plus summary statistics. */
+struct DynamicTrace
+{
+    std::string name;
+    std::vector<TraceRecord> records;
+
+    /** @name Summary statistics @{ */
+    uint64_t dynInsts = 0;       //!< records excluding setup instructions
+    uint64_t setupInsts = 0;
+    uint64_t branches = 0;       //!< conditional + indirect branch count
+    uint64_t takenBranches = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    bool truncated = false;      //!< hit the dynamic instruction limit
+    /** @} */
+
+    size_t size() const { return records.size(); }
+    const TraceRecord &operator[](size_t i) const { return records[i]; }
+};
+
+} // namespace noreba
+
+#endif // NOREBA_INTERP_TRACE_H

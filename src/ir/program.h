@@ -1,0 +1,111 @@
+/**
+ * @file
+ * A Program bundles the (single) function of a workload with its
+ * initialized data segments, and provides the code layout that assigns
+ * a PC to every instruction (blocks laid out in id order, 4 bytes per
+ * instruction — RISC-V RV64 flavoured).
+ */
+
+#ifndef NOREBA_IR_PROGRAM_H
+#define NOREBA_IR_PROGRAM_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace noreba {
+
+/** Base virtual address of the code segment. */
+constexpr uint64_t CODE_BASE = 0x10000;
+/** Size of one encoded instruction. */
+constexpr uint64_t INST_BYTES = 4;
+/** Default stack pointer at program start (grows down). */
+constexpr uint64_t STACK_TOP = 0x7fff0000;
+/** Base of the heap region handed out by Program::allocGlobal(). */
+constexpr uint64_t HEAP_BASE = 0x100000;
+
+/** One initialized data region. */
+struct DataSegment
+{
+    uint64_t base = 0;
+    std::vector<uint8_t> bytes;
+};
+
+/**
+ * Code layout: PC assignment for every instruction of a function.
+ * Recomputed after the annotation pass inserts setup instructions.
+ */
+class Layout
+{
+  public:
+    Layout() = default;
+    explicit Layout(const Function &fn);
+
+    /** PC of instruction `idx` within block `bb`. */
+    uint64_t pc(int bb, int idx) const
+    {
+        return blockBase_[bb] + static_cast<uint64_t>(idx) * INST_BYTES;
+    }
+
+    /** PC of the first instruction of block `bb`. */
+    uint64_t blockPc(int bb) const { return blockBase_[bb]; }
+
+    /** Total instruction footprint in bytes. */
+    uint64_t codeBytes() const { return codeBytes_; }
+
+  private:
+    std::vector<uint64_t> blockBase_;
+    uint64_t codeBytes_ = 0;
+};
+
+/**
+ * A complete workload program: one function, initialized data, and a
+ * fresh-layout helper.
+ */
+class Program
+{
+  public:
+    explicit Program(std::string name = "prog")
+        : name_(std::move(name)), fn_(name_) {}
+
+    const std::string &name() const { return name_; }
+
+    Function &function() { return fn_; }
+    const Function &function() const { return fn_; }
+
+    /** @name Data segment construction @{ */
+
+    /**
+     * Reserve `bytes` of zero-initialized global memory; returns its base
+     * address. Alignment is 16 bytes.
+     */
+    uint64_t allocGlobal(uint64_t bytes);
+
+    /** Write raw bytes at an absolute address (extending segments). */
+    void pokeBytes(uint64_t addr, const void *data, size_t len);
+
+    void poke64(uint64_t addr, uint64_t value);
+    void poke32(uint64_t addr, uint32_t value);
+    void pokeDouble(uint64_t addr, double value);
+
+    const std::vector<DataSegment> &dataSegments() const { return segs_; }
+    /** @} */
+
+    /** Recompute CFG, verify, and build the layout. Call before use. */
+    void finalize();
+
+    const Layout &layout() const { return layout_; }
+
+  private:
+    std::string name_;
+    Function fn_;
+    std::vector<DataSegment> segs_;
+    Layout layout_;
+    uint64_t heapNext_ = HEAP_BASE;
+};
+
+} // namespace noreba
+
+#endif // NOREBA_IR_PROGRAM_H

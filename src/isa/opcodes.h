@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The RISC-V-flavoured instruction set understood by the compiler IR,
+ * the functional interpreter, and the timing model — including the four
+ * NOREBA ISA extensions of the paper: setBranchId, setDependency,
+ * getCITEntry and setCITEntry (Sections 3, 4.1 and 4.4).
+ */
+
+#ifndef NOREBA_ISA_OPCODES_H
+#define NOREBA_ISA_OPCODES_H
+
+#include <cstdint>
+
+namespace noreba {
+
+/**
+ * Opcodes. Grouped by execution class; isa.h provides the class queries
+ * the rest of the system uses (isBranch(), isLoad(), fuClass(), ...).
+ */
+enum class Opcode : uint8_t
+{
+    // Integer ALU (register-register and register-immediate forms are
+    // distinguished by Instruction::hasImm()).
+    ADD, SUB, AND, OR, XOR, SLL, SRL, SRA, SLT, SLTU,
+    // Upper-immediate / address formation.
+    LUI, AUIPC,
+    // Integer multiply/divide (complex ALU).
+    MUL, MULH, DIV, REM,
+    // Loads: byte/half/word/double + FP loads.
+    LB, LH, LW, LD, FLW, FLD,
+    // Stores.
+    SB, SH, SW, SD, FSW, FSD,
+    // Conditional branches.
+    BEQ, BNE, BLT, BGE, BLTU, BGEU,
+    // Unconditional control flow.
+    JAL, JALR,
+    // Floating point.
+    FADD, FSUB, FMUL, FDIV, FSQRT, FMADD, FMIN, FMAX,
+    FCVT_D_L, FCVT_L_D, FEQ, FLT, FLE, FMV,
+    // Fences / synchronization (multi-core boundaries, Section 4.5).
+    FENCE,
+    // NOREBA setup instructions (dropped at decode; Section 4.1).
+    SET_BRANCH_ID,   //!< setBranchId ID
+    SET_DEPENDENCY,  //!< setDependency NUM ID
+    // NOREBA CIT<->OS exchange instructions (Section 4.4).
+    GET_CIT_ENTRY,   //!< getCITEntry idx -> rd
+    SET_CIT_ENTRY,   //!< setCITEntry idx, rs
+    // Misc.
+    NOP,
+    HALT,            //!< terminate the program (stand-in for exit syscall)
+    NUM_OPCODES
+};
+
+/** Functional-unit class an opcode executes on (see FuPool). */
+enum class FuClass : uint8_t
+{
+    IntAlu,      //!< simple integer, 1 cycle
+    IntMul,      //!< complex integer, 3 cycles
+    IntDiv,      //!< complex integer, 12 cycles (unpipelined)
+    FpAlu,       //!< FP add/sub/cmp/convert, 3 cycles
+    FpMul,       //!< FP multiply/FMA, 4 cycles
+    FpDiv,       //!< FP divide/sqrt, 12 cycles (unpipelined)
+    MemRead,     //!< load pipe
+    MemWrite,    //!< store pipe
+    Branch,      //!< branch resolution on the ALU
+    None,        //!< dropped at decode (setup instructions, NOP)
+    NUM_CLASSES
+};
+
+/** Human-readable mnemonic for an opcode. */
+const char *opcodeName(Opcode op);
+
+} // namespace noreba
+
+#endif // NOREBA_ISA_OPCODES_H

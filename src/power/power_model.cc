@@ -1,0 +1,190 @@
+#include "power/power_model.h"
+
+#include <cmath>
+#include <vector>
+
+namespace noreba {
+
+namespace {
+
+/** Nominal clock for converting per-access energy to power. */
+constexpr double NOMINAL_GHZ = 2.5;
+/** Clock/wire/glue overhead multiplier on raw array energies. */
+constexpr double OVERHEAD = 2.5;
+
+/** Static parameters of one modelled structure. */
+struct StructParams
+{
+    const char *name;
+    double areaMm2;
+    double leakW;
+    double energyPj; //!< per access
+};
+
+// CACTI-flavoured first-order constants for a ~14 nm, 2.5 GHz core.
+const StructParams BASE_STRUCTS[] = {
+    {"icache", 1.20, 0.30, 35.0},
+    {"bpred", 0.60, 0.16, 8.0},
+    {"idecode", 0.80, 0.20, 12.0},
+    {"ialu", 1.00, 0.24, 30.0},
+    {"fpalu", 1.80, 0.40, 80.0},
+    {"cmplxalu", 0.90, 0.20, 60.0},
+    {"dcache", 2.20, 0.60, 45.0},
+    {"lsu", 0.80, 0.20, 25.0},
+    {"rename", 0.50, 0.12, 15.0},
+    {"regf", 1.10, 0.28, 10.0},
+    {"scheduler", 1.00, 0.24, 12.0},
+    // rob / SELECTIVE ROB handled specially below.
+    {"cdb", 0.40, 0.10, 12.0},
+};
+
+double
+dynWatts(uint64_t events, double energyPj, uint64_t cycles)
+{
+    if (cycles == 0)
+        return 0.0;
+    double accessesPerCycle =
+        static_cast<double>(events) / static_cast<double>(cycles);
+    return accessesPerCycle * energyPj * OVERHEAD * NOMINAL_GHZ * 1e-3;
+}
+
+uint64_t
+activityOf(const std::string &name, const CoreStats &s)
+{
+    if (name == "icache")
+        return s.icacheAccesses;
+    if (name == "bpred")
+        return 2 * s.bpredLookups; // lookup + update
+    if (name == "idecode")
+        return s.fetched;
+    if (name == "ialu")
+        return s.intAluOps;
+    if (name == "fpalu")
+        return s.fpAluOps;
+    if (name == "cmplxalu")
+        return s.cmplxAluOps;
+    if (name == "dcache")
+        return s.dcacheAccesses + 2 * s.l2Accesses + 3 * s.l3Accesses;
+    if (name == "lsu")
+        return s.lsqOps + s.dcacheAccesses;
+    if (name == "rename")
+        return s.renameOps;
+    if (name == "regf")
+        return s.rfReads + s.rfWrites;
+    if (name == "scheduler")
+        return s.iqWrites + 2 * s.issued + s.cdbBroadcasts;
+    if (name == "cdb")
+        return s.cdbBroadcasts;
+    return 0;
+}
+
+} // namespace
+
+double
+PowerBreakdown::totalWatts() const
+{
+    double t = 0.0;
+    for (const auto &kv : watts)
+        t += kv.second;
+    return t;
+}
+
+double
+PowerBreakdown::totalArea() const
+{
+    double t = 0.0;
+    for (const auto &kv : area)
+        t += kv.second;
+    return t;
+}
+
+const std::vector<std::string> &
+powerStructureNames()
+{
+    static const std::vector<std::string> names = {
+        "icache", "bpred", "idecode", "ialu", "fpalu", "cmplxalu",
+        "dcache", "lsu", "rename", "regf", "scheduler",
+        "rob/SELECTIVE ROB", "cdb", "CQT+BIT+DCT", "CIT",
+    };
+    return names;
+}
+
+PowerBreakdown
+computePower(const CoreConfig &cfg, const CoreStats &stats)
+{
+    PowerBreakdown out;
+    const uint64_t cycles = stats.cycles;
+
+    for (const auto &sp : BASE_STRUCTS) {
+        uint64_t events = activityOf(sp.name, stats);
+        out.watts[sp.name] =
+            sp.leakW + dynWatts(events, sp.energyPj, cycles);
+        out.area[sp.name] = sp.areaMm2;
+    }
+
+    const bool selective = cfg.commitMode == CommitMode::Noreba;
+
+    // Reorder buffer. The conventional ROB is a multi-ported RAM whose
+    // commit logic scans the head; NOREBA's ROB' is the same capacity
+    // but strictly FIFO, with the commit queues appended as small FIFOs
+    // (Section 6.2: FIFO queues only marginally increase power).
+    {
+        double robArea = 0.90 * (cfg.robEntries / 224.0);
+        double robLeak = 0.22 * (cfg.robEntries / 224.0);
+        double robEnergy = 18.0;
+        uint64_t robEvents = stats.robWrites + stats.robReads;
+        if (selective) {
+            int cqEntries = cfg.srob.numBrCqs * cfg.srob.brCqEntries +
+                            cfg.srob.prCqEntries;
+            // FIFO pointers instead of a random-access commit scan.
+            robEnergy = 14.0;
+            double cqEnergy =
+                2.0 + 0.4 * std::log2(static_cast<double>(
+                                std::max(2, cqEntries)));
+            double cqArea = 0.014 * cqEntries;
+            double cqLeak = 0.0016 * cqEntries;
+            // Very large queue groups pay superlinear wiring/mux cost
+            // (the knee Figure 10 shows well beyond the useful sizes).
+            if (cqEntries > 96) {
+                double x = cqEntries - 96;
+                cqLeak += 2.2e-5 * x * x;
+                cqArea += 6.0e-5 * x * x;
+            }
+            out.watts["rob/SELECTIVE ROB"] =
+                robLeak + cqLeak +
+                dynWatts(robEvents, robEnergy, cycles) +
+                dynWatts(stats.cqOps, cqEnergy, cycles);
+            out.area["rob/SELECTIVE ROB"] = robArea + cqArea;
+        } else {
+            out.watts["rob/SELECTIVE ROB"] =
+                robLeak + dynWatts(robEvents, robEnergy, cycles);
+            out.area["rob/SELECTIVE ROB"] = robArea;
+        }
+    }
+
+    // NOREBA bookkeeping tables: small direct-mapped RAMs.
+    if (selective) {
+        double tabLeak = 0.0012 * (cfg.srob.bitEntries +
+                                   cfg.srob.cqtEntries + 1);
+        out.watts["CQT+BIT+DCT"] =
+            tabLeak + dynWatts(stats.bitOps + stats.dctOps +
+                                   stats.cqtOps,
+                               1.5, cycles);
+        out.area["CQT+BIT+DCT"] =
+            0.012 * (cfg.srob.bitEntries + cfg.srob.cqtEntries + 1);
+
+        out.watts["CIT"] =
+            0.0004 * cfg.srob.citEntries +
+            dynWatts(stats.citOps + stats.citDrops, 2.5, cycles);
+        out.area["CIT"] = 0.0036 * cfg.srob.citEntries;
+    } else {
+        out.watts["CQT+BIT+DCT"] = 0.0;
+        out.area["CQT+BIT+DCT"] = 0.0;
+        out.watts["CIT"] = 0.0;
+        out.area["CIT"] = 0.0;
+    }
+
+    return out;
+}
+
+} // namespace noreba

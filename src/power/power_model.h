@@ -1,0 +1,56 @@
+/**
+ * @file
+ * McPAT-flavoured activity-based power and area model (the paper uses a
+ * modified McPAT 1.3; Section 5, Figure 16).
+ *
+ * Each structure has an area, a leakage density, and a per-access
+ * dynamic energy; dynamic power is activity x energy over the run's
+ * cycle count (at a nominal frequency). The NOREBA additions — the
+ * Selective ROB commit queues and the CQT/BIT/DCT and CIT tables — are
+ * modelled as small FIFO/direct-mapped structures (cheap per access),
+ * versus the associative/collapsing ROBs of prior OoO-commit work.
+ *
+ * Absolute watt values are first-order CACTI-like estimates; the
+ * figure-16 bench reports the per-structure *breakdown* normalized to
+ * the in-order baseline, which is the result the paper presents.
+ */
+
+#ifndef NOREBA_POWER_POWER_MODEL_H
+#define NOREBA_POWER_POWER_MODEL_H
+
+#include <map>
+#include <vector>
+#include <string>
+
+#include "uarch/config.h"
+#include "uarch/stats.h"
+
+namespace noreba {
+
+/** Per-structure power and area result. */
+struct PowerBreakdown
+{
+    /** Watts per structure, keyed by Figure 16's legend names. */
+    std::map<std::string, double> watts;
+    /** mm^2 per structure. */
+    std::map<std::string, double> area;
+
+    double totalWatts() const;
+    double totalArea() const;
+};
+
+/**
+ * Compute the breakdown for one finished run.
+ *
+ * @param cfg    the configuration the run used (commit mode, Selective
+ *               ROB geometry, core sizes)
+ * @param stats  activity counters from Core::run()
+ */
+PowerBreakdown computePower(const CoreConfig &cfg, const CoreStats &stats);
+
+/** Structure names in Figure 16 legend order. */
+const std::vector<std::string> &powerStructureNames();
+
+} // namespace noreba
+
+#endif // NOREBA_POWER_POWER_MODEL_H

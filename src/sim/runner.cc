@@ -1,0 +1,90 @@
+#include "sim/runner.h"
+
+#include "common/logging.h"
+#include "interp/interpreter.h"
+#include "uarch/branch_predictor.h"
+#include "uarch/core.h"
+
+namespace noreba {
+
+namespace {
+
+/**
+ * Remove setup records, remapping every guardIdx to the stripped
+ * numbering. Guards always reference non-setup records (branches), so
+ * the remap is total.
+ */
+DynamicTrace
+stripSetupRecords(const DynamicTrace &in)
+{
+    DynamicTrace out;
+    out.name = in.name;
+    out.dynInsts = in.dynInsts;
+    out.setupInsts = 0;
+    out.branches = in.branches;
+    out.takenBranches = in.takenBranches;
+    out.loads = in.loads;
+    out.stores = in.stores;
+    out.truncated = in.truncated;
+
+    std::vector<TraceIdx> remap(in.size(), TRACE_NONE);
+    out.records.reserve(in.size() - in.setupInsts);
+    for (size_t i = 0; i < in.size(); ++i) {
+        const TraceRecord &rec = in.records[i];
+        if (rec.isSetup())
+            continue;
+        remap[i] = static_cast<TraceIdx>(out.records.size());
+        out.records.push_back(rec);
+    }
+    for (auto &rec : out.records) {
+        if (rec.guardIdx >= 0) {
+            TraceIdx g = remap[static_cast<size_t>(rec.guardIdx)];
+            panic_if(g == TRACE_NONE,
+                     "guard points at a setup record");
+            rec.guardIdx = g;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+TraceBundle
+prepareTrace(const std::string &workload, const TraceOptions &opts)
+{
+    TraceBundle bundle;
+    bundle.workload = workload;
+
+    Program prog = buildWorkload(workload, opts.params);
+    if (opts.annotate)
+        bundle.pass = runBranchDependencePass(prog);
+
+    Interpreter interp(prog);
+    InterpOptions io;
+    io.maxDynInsts = opts.maxDynInsts;
+    bundle.trace = interp.run(io);
+    bundle.checksum = interp.regChecksum();
+
+    if (opts.stripSetups)
+        bundle.trace = stripSetupRecords(bundle.trace);
+
+    bundle.misp = precomputeMispredictions(bundle.trace);
+    return bundle;
+}
+
+CoreStats
+simulate(const CoreConfig &cfg, const TraceBundle &bundle)
+{
+    Core core(cfg, bundle.trace, bundle.misp);
+    return core.run();
+}
+
+CoreStats
+runOne(const std::string &workload, const CoreConfig &cfg,
+       const TraceOptions &opts)
+{
+    TraceBundle bundle = prepareTrace(workload, opts);
+    return simulate(cfg, bundle);
+}
+
+} // namespace noreba

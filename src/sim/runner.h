@@ -1,0 +1,75 @@
+/**
+ * @file
+ * End-to-end driver: workload -> NOREBA compiler pass -> functional
+ * trace -> misprediction precompute -> cycle-level simulation. Traces
+ * are built once per workload and shared across every core config and
+ * commit policy, so cross-policy comparisons see identical instruction
+ * and branch streams.
+ */
+
+#ifndef NOREBA_SIM_RUNNER_H
+#define NOREBA_SIM_RUNNER_H
+
+#include <string>
+#include <vector>
+
+#include "compiler/branch_dep.h"
+#include "interp/trace.h"
+#include "uarch/config.h"
+#include "uarch/stats.h"
+#include "workloads/workloads.h"
+
+namespace noreba {
+
+/** A prepared, simulate-ready trace. */
+struct TraceBundle
+{
+    std::string workload;
+    DynamicTrace trace;
+    std::vector<uint8_t> misp; //!< per-record misprediction verdicts
+    PassResult pass;           //!< compiler pass report
+    uint64_t checksum = 0;     //!< architectural result checksum
+};
+
+/** Trace-preparation options. */
+struct TraceOptions
+{
+    WorkloadParams params;
+    uint64_t maxDynInsts = 400000;
+    bool annotate = true; //!< run the NOREBA pass + setup insertion
+
+    /**
+     * Remove setup instructions from the trace while keeping the guard
+     * information — the "perfect design that does not require the use
+     * of setup instructions" of Figure 11.
+     */
+    bool stripSetups = false;
+};
+
+/** Build (workload -> pass -> interpret -> predict) one bundle. */
+TraceBundle prepareTrace(const std::string &workload,
+                         const TraceOptions &opts = {});
+
+/** Simulate a prepared bundle on one core configuration. */
+CoreStats simulate(const CoreConfig &cfg, const TraceBundle &bundle);
+
+/** Convenience: prepare + simulate in one call. */
+CoreStats runOne(const std::string &workload, const CoreConfig &cfg,
+                 const TraceOptions &opts = {});
+
+/**
+ * Speedup helper: cycles(baseline) / cycles(candidate), the paper's
+ * performance metric (all runs replay the same trace).
+ */
+inline double
+speedup(const CoreStats &baseline, const CoreStats &candidate)
+{
+    return candidate.cycles
+               ? static_cast<double>(baseline.cycles) /
+                     static_cast<double>(candidate.cycles)
+               : 0.0;
+}
+
+} // namespace noreba
+
+#endif // NOREBA_SIM_RUNNER_H

@@ -1,0 +1,168 @@
+#include "uarch/branch_predictor.h"
+
+namespace noreba {
+
+TagePredictor::TagePredictor()
+    : bimodal_(1u << BIMODAL_BITS, 1)
+{
+    for (auto &t : tables_)
+        t.resize(1u << TABLE_BITS);
+}
+
+uint64_t
+TagePredictor::foldedHistory(int bits, int outBits) const
+{
+    uint64_t h = bits >= 64 ? history_
+                            : (history_ & ((1ull << bits) - 1));
+    uint64_t folded = 0;
+    while (bits > 0) {
+        folded ^= h & ((1ull << outBits) - 1);
+        h >>= outBits;
+        bits -= outBits;
+    }
+    return folded;
+}
+
+uint32_t
+TagePredictor::tableIndex(uint64_t pc, int table) const
+{
+    uint64_t h = foldedHistory(HIST_LEN[table], TABLE_BITS);
+    return static_cast<uint32_t>(((pc >> 2) ^ (pc >> (2 + TABLE_BITS)) ^
+                                  h ^ static_cast<uint64_t>(table)) &
+                                 ((1u << TABLE_BITS) - 1));
+}
+
+uint16_t
+TagePredictor::tableTag(uint64_t pc, int table) const
+{
+    uint64_t h = foldedHistory(HIST_LEN[table], TAG_BITS);
+    uint64_t h2 = foldedHistory(HIST_LEN[table], TAG_BITS - 1) << 1;
+    return static_cast<uint16_t>(((pc >> 2) ^ h ^ h2) &
+                                 ((1u << TAG_BITS) - 1));
+}
+
+bool
+TagePredictor::predict(uint64_t pc)
+{
+    last_ = Lookup{};
+    last_.bimodalIndex =
+        static_cast<uint32_t>((pc >> 2) & ((1u << BIMODAL_BITS) - 1));
+    bool bimodalPred = bimodal_[last_.bimodalIndex] >= 2;
+
+    last_.providerPred = bimodalPred;
+    last_.altPred = bimodalPred;
+
+    for (int t = 0; t < NUM_TABLES; ++t) {
+        last_.index[t] = tableIndex(pc, t);
+        last_.tag[t] = tableTag(pc, t);
+    }
+    // Longest history match provides; next-longest is the alternate.
+    for (int t = NUM_TABLES - 1; t >= 0; --t) {
+        const TaggedEntry &e = tables_[t][last_.index[t]];
+        if (e.tag == last_.tag[t]) {
+            if (last_.provider < 0) {
+                last_.provider = t;
+                last_.providerPred = e.ctr >= 0;
+            } else if (last_.altProvider < 0) {
+                last_.altProvider = t;
+                last_.altPred = e.ctr >= 0;
+                break;
+            }
+        }
+    }
+    return last_.providerPred;
+}
+
+void
+TagePredictor::update(uint64_t pc, bool taken)
+{
+    (void)pc;
+    bool predicted = last_.providerPred;
+
+    // Update the provider (or the bimodal base).
+    if (last_.provider >= 0) {
+        TaggedEntry &e = tables_[last_.provider][last_.index[last_.provider]];
+        if (taken && e.ctr < 3)
+            ++e.ctr;
+        else if (!taken && e.ctr > -4)
+            --e.ctr;
+        // Usefulness: provider correct where alternate was wrong.
+        bool altPred =
+            last_.altProvider >= 0 ? last_.altPred : last_.altPred;
+        if (predicted != altPred) {
+            if (predicted == taken && e.useful < 3)
+                ++e.useful;
+            else if (predicted != taken && e.useful > 0)
+                --e.useful;
+        }
+    } else {
+        uint8_t &c = bimodal_[last_.bimodalIndex];
+        if (taken && c < 3)
+            ++c;
+        else if (!taken && c > 0)
+            --c;
+    }
+
+    // Allocate a longer-history entry on a misprediction.
+    if (predicted != taken && last_.provider < NUM_TABLES - 1) {
+        int start = last_.provider + 1;
+        bool allocated = false;
+        for (int t = start; t < NUM_TABLES && !allocated; ++t) {
+            TaggedEntry &e = tables_[t][last_.index[t]];
+            if (e.useful == 0) {
+                e.tag = last_.tag[t];
+                e.ctr = taken ? 0 : -1;
+                e.useful = 0;
+                allocated = true;
+            }
+        }
+        if (!allocated) {
+            // Decay usefulness so future allocations can succeed.
+            for (int t = start; t < NUM_TABLES; ++t) {
+                TaggedEntry &e = tables_[t][last_.index[t]];
+                if (e.useful > 0)
+                    --e.useful;
+            }
+        }
+    }
+
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+std::vector<uint8_t>
+precomputeMispredictions(const DynamicTrace &trace)
+{
+    TagePredictor tage;
+    IndirectPredictor ind;
+    std::vector<uint8_t> misp(trace.size(), 0);
+
+    for (size_t i = 0; i < trace.size(); ++i) {
+        const TraceRecord &rec = trace.records[i];
+        if (rec.isCondBr()) {
+            bool pred = tage.predict(rec.pc);
+            misp[i] = pred != rec.taken;
+            tage.update(rec.pc, rec.taken);
+        } else if (rec.op == Opcode::JALR) {
+            uint64_t pred = ind.predict(rec.pc);
+            misp[i] = pred != rec.nextPc;
+            ind.update(rec.pc, rec.nextPc);
+        }
+    }
+    return misp;
+}
+
+PredictorStats
+summarizeMispredictions(const DynamicTrace &trace,
+                        const std::vector<uint8_t> &misp)
+{
+    PredictorStats stats;
+    for (size_t i = 0; i < trace.size(); ++i) {
+        if (trace.records[i].isBranchSite()) {
+            ++stats.branches;
+            stats.mispredicts += misp[i];
+        }
+    }
+    return stats;
+}
+
+} // namespace noreba

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Commit-policy interface. The core owns fetch/decode/rename/issue and
+ * the master ROB ordering; a CommitPolicy decides, each cycle, which
+ * in-flight instructions retire and therefore when window resources are
+ * reclaimed. All five policies of Figures 1 and 6 implement this
+ * interface (see the sources in uarch/commit/).
+ */
+
+#ifndef NOREBA_UARCH_COMMIT_COMMIT_POLICY_H
+#define NOREBA_UARCH_COMMIT_COMMIT_POLICY_H
+
+#include <memory>
+
+#include "interp/trace.h"
+#include "uarch/config.h"
+#include "uarch/inflight.h"
+
+namespace noreba {
+
+class Core;
+
+/** Per-cycle commit behaviour. */
+class CommitPolicy
+{
+  public:
+    virtual ~CommitPolicy() = default;
+
+    /** Retire eligible instructions (up to the commit width). */
+    virtual void commitCycle(Core &core) = 0;
+
+    /** A freshly renamed instruction entered the window. */
+    virtual void onDispatch(Core &core, InFlight *inst)
+    {
+        (void)core;
+        (void)inst;
+    }
+
+    /** All uncommitted instructions with idx > `after` were squashed. */
+    virtual void onSquash(Core &core, TraceIdx after)
+    {
+        (void)core;
+        (void)after;
+    }
+
+    /**
+     * Does the window have room for another dispatch? The default
+     * charges the master ROB; Noreba charges the ROB' instead (steered
+     * instructions live in the commit queues).
+     */
+    virtual bool windowHasSpace(const Core &core) const;
+
+    virtual const char *name() const = 0;
+};
+
+/** Instantiate the policy selected by the config. */
+std::unique_ptr<CommitPolicy> makeCommitPolicy(const CoreConfig &cfg);
+
+} // namespace noreba
+
+#endif // NOREBA_UARCH_COMMIT_COMMIT_POLICY_H

@@ -1,0 +1,348 @@
+/**
+ * @file
+ * The NOREBA commit policy: the Selective ROB of Section 4.
+ *
+ * Dispatched instructions enter the FIFO ROB' in program order. Each
+ * cycle, up to steerWidth instructions leave the ROB' head and are
+ * steered to FIFO commit queues exactly per Table 1:
+ *
+ *  - a *marked* branch (one that carried a setBranchId) registers
+ *    CQT[BranchID] = CQ and is steered to its own guard's queue if that
+ *    guard is still live in the CQT (keeping dependence chains in FIFO
+ *    order), otherwise to a free Branch Commit Queue (or the PR-CQ if
+ *    it already resolved);
+ *  - any other instruction goes to CQT[Inst.BranchID] if that entry
+ *    exists, else to the Primary Commit Queue;
+ *  - loads and stores steer only once their page-table access succeeded
+ *    (in-order TLB check at the ROB' head).
+ *
+ * Commit picks the oldest eligible queue head each cycle (branches must
+ * have resolved; everything else follows the shared commit conditions).
+ * A commit that happens out of program order allocates a CIT entry
+ * (direct-mapped by PC); a CIT set conflict stalls that commit, and
+ * entries are reclaimed once in-order commit passes them (Section 4.3).
+ * Committed branches remove their CQT entry.
+ */
+
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/logging.h"
+#include "uarch/commit/commit_policy.h"
+#include "uarch/core.h"
+
+namespace noreba {
+
+class NorebaCommit : public CommitPolicy
+{
+  public:
+    explicit NorebaCommit(const CoreConfig &cfg) : srob_(cfg.srob)
+    {
+        brCqs_.resize(static_cast<size_t>(srob_.numBrCqs));
+    }
+
+    void
+    onDispatch(Core &core, InFlight *p) override
+    {
+        (void)core;
+        robPrime_.push_back(p);
+    }
+
+    bool
+    windowHasSpace(const Core &core) const override
+    {
+        // Steered instructions have released their ROB' entry; only the
+        // un-steered ones occupy it (Section 4.2: ROB' size equals the
+        // baseline ROB).
+        return robPrime_.size() <
+               static_cast<size_t>(core.config().robEntries);
+    }
+
+    void
+    commitCycle(Core &core) override
+    {
+        reclaimCit(core);
+        commitFromQueues(core);
+        steer(core);
+    }
+
+    void
+    onSquash(Core &core, TraceIdx after) override
+    {
+        (void)core;
+        auto purge = [after](std::deque<InFlight *> &q) {
+            while (!q.empty() && q.back()->idx > after)
+                q.pop_back();
+        };
+        purge(robPrime_);
+        purge(prCq_);
+        for (auto &q : brCqs_)
+            purge(q);
+        // Live CQT entries of squashed branches disappear with them.
+        for (auto it = cqt_.begin(); it != cqt_.end();) {
+            if (it->first > after)
+                it = cqt_.erase(it);
+            else
+                ++it;
+        }
+    }
+
+    const char *name() const override { return "Noreba"; }
+
+  private:
+    std::deque<InFlight *> &
+    queueOf(int cq)
+    {
+        return cq < 0 ? prCq_ : brCqs_[static_cast<size_t>(cq)];
+    }
+
+    size_t
+    capacityOf(int cq) const
+    {
+        return cq < 0 ? static_cast<size_t>(srob_.prCqEntries)
+                      : static_cast<size_t>(srob_.brCqEntries);
+    }
+
+    bool
+    headEligible(Core &core, InFlight *p) const
+    {
+        if (p->isBranch) {
+            // A branch must itself be on a proven path before it
+            // commits: its compiler guard chain has to be resolved
+            // (C5 applied to the branch's own marked dependence).
+            return p->resolved && p->completed &&
+                   core.commitEligibleBasic(p) &&
+                   core.guardChainResolved(p);
+        }
+        // Order-sensitive instructions (cross-instance data flows) must
+        // re-validate their chain sites at the head: sitting behind the
+        // guard in the FIFO only proves the *latest* instance committed.
+        if ((p->rec->orderSensitive || p->rec->orderStrict) &&
+            !core.guardChainResolved(p))
+            return false;
+        // Footnote-1 C1/C3 relaxation: commit is non-speculative
+        // *resource recovery*. Once an instruction cannot trap (memory
+        // ops past their page-table check; RISC-V FP accrues into fcsr)
+        // and its dependence queue has cleared, its window resources
+        // are reclaimed even before the result returns; execution
+        // completes in the background.
+        if (isMem(p->rec->op))
+            return core.tlbDone(p) && core.fenceAllows(p);
+        return core.fenceAllows(p) &&
+               (p->rec->op != Opcode::FENCE || core.commitEligibleBasic(p));
+    }
+
+    void
+    commitFromQueues(Core &core)
+    {
+        int budget = core.config().commitWidth;
+        const int nq = static_cast<int>(brCqs_.size());
+        bool blocked[1 + 16] = {};
+        panic_if(nq > 16, "too many BR-CQs");
+
+        while (budget > 0) {
+            InFlight *best = nullptr;
+            int bestCq = -2;
+            for (int cq = -1; cq < nq; ++cq) {
+                if (blocked[cq + 1])
+                    continue;
+                auto &q = queueOf(cq);
+                if (q.empty())
+                    continue;
+                InFlight *h = q.front();
+                if (!headEligible(core, h))
+                    continue;
+                if (!best || h->idx < best->idx) {
+                    best = h;
+                    bestCq = cq;
+                }
+            }
+            if (!best)
+                break;
+
+            // Out-of-order commits must secure a CIT entry first. The
+            // CIT is modelled as an associative capacity of citEntries
+            // live records (the paper's direct-mapped-by-PC table would
+            // conflict between instances of the same static instruction,
+            // which its own Figure 4 example implies must coexist).
+            // Each entry records the most recent unresolved branch at
+            // commit time and is reclaimed when that branch commits
+            // (Section 4.3).
+            if (best->idx > core.oldestUncommitted()) {
+                if (citLive_ >= srob_.citEntries) {
+                    ++core.stats().citFullStalls;
+                    blocked[bestCq + 1] = true;
+                    continue;
+                }
+                TraceIdx guard = core.youngestUnresolvedBefore(best->idx);
+                if (guard != TRACE_NONE) {
+                    ++citByGuard_[guard];
+                    ++citLive_;
+                }
+                // With no older unresolved branch the entry can never
+                // be re-fetched; it is reclaimed immediately.
+                ++core.stats().citOps;
+            }
+
+            core.commit(best);
+            queueOf(bestCq).pop_front();
+            ++core.stats().cqOps;
+            if (best->isBranch) {
+                auto it = cqt_.find(best->idx);
+                if (it != cqt_.end()) {
+                    cqt_.erase(it);
+                    ++core.stats().cqtOps;
+                }
+                auto git = citByGuard_.find(best->idx);
+                if (git != citByGuard_.end()) {
+                    citLive_ -= git->second;
+                    core.stats().citOps +=
+                        static_cast<uint64_t>(git->second);
+                    citByGuard_.erase(git);
+                }
+            }
+            --budget;
+        }
+    }
+
+    void
+    steer(Core &core)
+    {
+        int budget = core.config().steerWidth;
+        bool stalled = false;
+        while (budget > 0 && !robPrime_.empty()) {
+            InFlight *p = robPrime_.front();
+            const TraceRecord &rec = *p->rec;
+
+            // In-order page-table check before leaving the ROB'.
+            if (isMem(rec.op) && !core.tlbDone(p)) {
+                stalled = true;
+                ++core.stats().steerStallTlb;
+                break;
+            }
+
+            int targetCq = -1; // -1 encodes the PR-CQ
+            if (rec.guardIdx >= 0) {
+                ++core.stats().cqtOps;
+                auto it = cqt_.find(rec.guardIdx);
+                if (it != cqt_.end())
+                    targetCq = it->second;
+            }
+
+            if (p->isBranch && rec.markedBranch) {
+                if (cqt_.size() >=
+                    static_cast<size_t>(srob_.cqtEntries)) {
+                    stalled = true;
+                    ++core.stats().steerStallCqt;
+                    break; // CQT full: the ROB' head waits
+                }
+                if (!p->resolved) {
+                    // Table 1: an unresolved branch leaving the ROB'
+                    // claims a Branch Commit Queue. Ordering among
+                    // instances of one static branch is enforced by
+                    // the commit condition (guardChainResolved /
+                    // olderSamePcUnresolved), not by queue placement.
+                    targetCq = pickBrCq();
+                    if (targetCq == -2) {
+                        stalled = true;
+                        ++core.stats().steerStallCqFull;
+                        break; // all BR-CQs full
+                    }
+                }
+                if (queueOf(targetCq).size() >= capacityOf(targetCq)) {
+                    stalled = true;
+                    ++core.stats().steerStallCqFull;
+                    break;
+                }
+                queueOf(targetCq).push_back(p);
+                cqt_[p->idx] = targetCq;
+                ++core.stats().cqtOps;
+            } else {
+                if (queueOf(targetCq).size() >= capacityOf(targetCq)) {
+                    stalled = true;
+                    ++core.stats().steerStallCqFull;
+                    break;
+                }
+                queueOf(targetCq).push_back(p);
+            }
+
+            p->steered = true;
+            p->cq = targetCq;
+            ++core.stats().cqOps;
+            robPrime_.pop_front();
+            --budget;
+        }
+        if (stalled)
+            ++core.stats().steerStallCycles;
+    }
+
+    /**
+     * BR-CQ allocation: prefer an empty queue, then a queue whose head
+     * has already resolved (it is draining), then the least-occupied
+     * one. Returns -2 if every BR-CQ is full.
+     */
+    int
+    pickBrCq() const
+    {
+        int best = -2;
+        int bestScore = -1;
+        const size_t cap = static_cast<size_t>(srob_.brCqEntries);
+        for (size_t i = 0; i < brCqs_.size(); ++i) {
+            const auto &q = brCqs_[i];
+            if (q.size() >= cap)
+                continue;
+            int score;
+            if (q.empty())
+                score = 3000;
+            else if (q.front()->resolved)
+                score = 2000 - static_cast<int>(q.size());
+            else
+                score = 1000 - static_cast<int>(q.size());
+            if (score > bestScore) {
+                bestScore = score;
+                best = static_cast<int>(i);
+            }
+        }
+        return best;
+    }
+
+    void
+    reclaimCit(Core &core)
+    {
+        // Guard branches that resolved correctly and committed free
+        // their groups in commitFromQueues; groups whose guard vanished
+        // in a squash are reclaimed here.
+        for (auto it = citByGuard_.begin(); it != citByGuard_.end();) {
+            TraceIdx g = it->first;
+            if (!core.isCommitted(g) && core.findInFlight(g) == nullptr) {
+                citLive_ -= it->second;
+                core.stats().citOps += static_cast<uint64_t>(it->second);
+                it = citByGuard_.erase(it);
+            } else if (core.isCommitted(g)) {
+                citLive_ -= it->second;
+                core.stats().citOps += static_cast<uint64_t>(it->second);
+                it = citByGuard_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    const SelectiveRobConfig srob_;
+    std::deque<InFlight *> robPrime_;
+    std::deque<InFlight *> prCq_;
+    std::vector<std::deque<InFlight *>> brCqs_;
+    std::map<TraceIdx, int> cqt_;      //!< live branch -> commit queue
+    std::map<TraceIdx, int> citByGuard_; //!< CIT entries per guard branch
+    int citLive_ = 0;
+};
+
+std::unique_ptr<CommitPolicy>
+makeNorebaCommit(const CoreConfig &cfg)
+{
+    return std::make_unique<NorebaCommit>(cfg);
+}
+
+} // namespace noreba

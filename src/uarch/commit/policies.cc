@@ -1,0 +1,248 @@
+/**
+ * @file
+ * The non-Selective-ROB commit policies of Figures 1 and 6:
+ *
+ *  - InOrderCommit: the conventional baseline (InO-C);
+ *  - NonSpecOoOCommit: Bell & Lipasti's safe conditions over a
+ *    collapsing ROB — commit anything completed whose older branches
+ *    are all resolved and older memory ops are all past translation;
+ *  - SpeculativeCommit: the two oracle upper bounds — SpeculativeBR
+ *    (drop the branch condition entirely) and Speculative (commit
+ *    anything completed), both with an ideal ROB and no misspeculation
+ *    penalty, exactly as the paper evaluates them;
+ *  - IdealReconvCommit: the paper's compiler information with an ideal
+ *    ROB — commit anything completed whose *compiler guard chain* has
+ *    resolved, without queue or table capacity limits.
+ */
+
+#include "uarch/commit/commit_policy.h"
+
+#include "common/logging.h"
+#include "uarch/core.h"
+
+namespace noreba {
+
+/** Conventional in-order commit. */
+class InOrderCommit : public CommitPolicy
+{
+  public:
+    void
+    commitCycle(Core &core) override
+    {
+        int budget = core.config().commitWidth;
+        for (InFlight *p : core.rob()) {
+            if (p->committed)
+                continue;
+            if (budget == 0 || !core.commitEligibleBasic(p))
+                break;
+            core.commit(p);
+            --budget;
+        }
+    }
+
+    const char *name() const override { return "InOrder"; }
+};
+
+/** Bell & Lipasti non-speculative OoO commit (collapsing ROB). */
+class NonSpecOoOCommit : public CommitPolicy
+{
+  public:
+    void
+    commitCycle(Core &core) override
+    {
+        int budget = core.config().commitWidth;
+        TraceIdx brBar = core.oldestUnresolvedBranch();
+        TraceIdx memBar = core.oldestUncheckedMem();
+        for (InFlight *p : core.rob()) {
+            if (budget == 0)
+                break;
+            if (p->committed)
+                continue;
+            // Conditions 2/4/5: no older unresolved branch, no older
+            // untranslated memory op (RISC-V FP does not trap). The
+            // barrier instruction itself cannot be eligible yet, so a
+            // >= break is exact.
+            if (p->idx >= brBar || p->idx >= memBar)
+                break;
+            if (!core.commitEligibleBasic(p))
+                continue;
+            core.commit(p);
+            --budget;
+        }
+    }
+
+    const char *name() const override { return "NonSpecOoO"; }
+};
+
+/** Oracle speculative commit (Figure 1 / Figure 6 upper bounds). */
+class SpeculativeCommit : public CommitPolicy
+{
+  public:
+    explicit SpeculativeCommit(bool keepMemCondition)
+        : keepMemCondition_(keepMemCondition)
+    {
+    }
+
+    void
+    commitCycle(Core &core) override
+    {
+        int budget = core.config().commitWidth;
+        TraceIdx memBar =
+            keepMemCondition_ ? core.oldestUncheckedMem() : INT32_MAX;
+        for (InFlight *p : core.rob()) {
+            if (budget == 0)
+                break;
+            if (p->committed)
+                continue;
+            if (p->idx >= memBar)
+                break;
+            // Oracle resource recovery: C1/C3 relaxed (footnote 1), C5
+            // dropped entirely; only the memory condition (when kept)
+            // and fences gate reclamation.
+            if (!core.fenceAllows(p))
+                break;
+            if (isMem(p->rec->op) && !core.tlbDone(p))
+                continue;
+            if (p->rec->op == Opcode::FENCE &&
+                !core.commitEligibleBasic(p))
+                continue;
+            core.commit(p);
+            --budget;
+        }
+    }
+
+    const char *
+    name() const override
+    {
+        return keepMemCondition_ ? "SpeculativeBR" : "SpeculativeFull";
+    }
+
+  private:
+    const bool keepMemCondition_;
+};
+
+/** Compiler reconvergence information with an ideal ROB. */
+class IdealReconvCommit : public CommitPolicy
+{
+  public:
+    void
+    commitCycle(Core &core) override
+    {
+        int budget = core.config().commitWidth;
+        TraceIdx memBar = core.oldestUncheckedMem();
+        for (InFlight *p : core.rob()) {
+            if (budget == 0)
+                break;
+            if (p->committed)
+                continue;
+            if (p->idx >= memBar)
+                break;
+            if (!core.fenceAllows(p))
+                break;
+            // Same commit conditions as Noreba (C1/C3 relaxed, guards
+            // from the compiler), but with ideal reordering hardware.
+            if (p->isBranch && !(p->resolved && p->completed))
+                continue;
+            if (isMem(p->rec->op) && !core.tlbDone(p))
+                continue;
+            if (p->rec->op == Opcode::FENCE &&
+                !core.commitEligibleBasic(p))
+                continue;
+            if (!core.guardChainResolved(p))
+                continue;
+            core.commit(p);
+            --budget;
+        }
+    }
+
+    const char *name() const override { return "IdealReconv"; }
+};
+
+/**
+ * Validation Buffer (Petit/Sahuquillo/Lopez/Ubal/Duato, IEEE TC 2009;
+ * the paper's Table 4 row "A complexity-effective out-of-order
+ * retirement microarchitecture"). Speculative instructions (branches)
+ * delimit *epochs*: when the epoch initiator at the buffer's head
+ * resolves, every instruction of the preceding epoch is released. No
+ * compiler information and no per-instruction checks — the buffer only
+ * tracks epoch boundaries, which is the design's complexity argument.
+ *
+ * Model: instruction I retires once it has completed, its memory
+ * condition holds, and the next branch after I (the initiator closing
+ * I's epoch) plus every older branch have resolved.
+ */
+class ValidationBufferCommit : public CommitPolicy
+{
+  public:
+    void
+    commitCycle(Core &core) override
+    {
+        if (nextBranch_.empty())
+            buildEpochs(core);
+        int budget = core.config().commitWidth;
+        TraceIdx brBar = core.oldestUnresolvedBranch();
+        TraceIdx memBar = core.oldestUncheckedMem();
+        for (InFlight *p : core.rob()) {
+            if (budget == 0)
+                break;
+            if (p->committed)
+                continue;
+            if (p->idx >= memBar)
+                break;
+            if (!core.commitEligibleBasic(p))
+                continue;
+            // The closing initiator (and everything older) resolved?
+            TraceIdx closer = nextBranch_[static_cast<size_t>(p->idx)];
+            TraceIdx needed = closer == TRACE_NONE ? p->idx : closer;
+            if (needed >= brBar)
+                continue;
+            core.commit(p);
+            --budget;
+        }
+    }
+
+    const char *name() const override { return "ValidationBuffer"; }
+
+  private:
+    void
+    buildEpochs(Core &core)
+    {
+        const DynamicTrace &trace = core.trace();
+        nextBranch_.assign(trace.size(), TRACE_NONE);
+        TraceIdx next = TRACE_NONE;
+        for (size_t i = trace.size(); i-- > 0;) {
+            nextBranch_[i] = next;
+            if (trace.records[i].isBranchSite())
+                next = static_cast<TraceIdx>(i);
+        }
+    }
+
+    std::vector<TraceIdx> nextBranch_;
+};
+
+std::unique_ptr<CommitPolicy> makeNorebaCommit(const CoreConfig &cfg);
+
+std::unique_ptr<CommitPolicy>
+makeCommitPolicy(const CoreConfig &cfg)
+{
+    switch (cfg.commitMode) {
+      case CommitMode::InOrder:
+        return std::make_unique<InOrderCommit>();
+      case CommitMode::NonSpecOoO:
+        return std::make_unique<NonSpecOoOCommit>();
+      case CommitMode::Noreba:
+        return makeNorebaCommit(cfg);
+      case CommitMode::IdealReconv:
+        return std::make_unique<IdealReconvCommit>();
+      case CommitMode::SpeculativeBR:
+        return std::make_unique<SpeculativeCommit>(true);
+      case CommitMode::SpeculativeFull:
+        return std::make_unique<SpeculativeCommit>(false);
+      case CommitMode::ValidationBuffer:
+        return std::make_unique<ValidationBufferCommit>();
+      default:
+        fatal("unknown commit mode");
+    }
+}
+
+} // namespace noreba

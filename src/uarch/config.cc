@@ -1,0 +1,73 @@
+#include "uarch/config.h"
+
+#include "common/logging.h"
+
+namespace noreba {
+
+const char *
+commitModeName(CommitMode mode)
+{
+    switch (mode) {
+      case CommitMode::InOrder: return "InO-C";
+      case CommitMode::NonSpecOoO: return "NonSpeculative-OoO-C";
+      case CommitMode::Noreba: return "Noreba";
+      case CommitMode::IdealReconv: return "Reconvergence-OoO-C";
+      case CommitMode::SpeculativeBR: return "SpeculativeBR-OoO-C";
+      case CommitMode::SpeculativeFull: return "Speculative-OoO-C";
+      case CommitMode::ValidationBuffer: return "ValidationBuffer";
+      default: return "?";
+    }
+}
+
+CoreConfig
+skylakeConfig()
+{
+    CoreConfig cfg;
+    cfg.name = "SKL";
+    cfg.robEntries = 224;
+    cfg.iqEntries = 68;
+    cfg.lqEntries = 72;
+    cfg.sqEntries = 56;
+    cfg.rfEntries = 168;
+    return cfg;
+}
+
+CoreConfig
+haswellConfig()
+{
+    CoreConfig cfg;
+    cfg.name = "HSW";
+    cfg.robEntries = 192;
+    cfg.iqEntries = 60;
+    cfg.lqEntries = 72;
+    cfg.sqEntries = 42;
+    cfg.rfEntries = 128;
+    return cfg;
+}
+
+CoreConfig
+nehalemConfig()
+{
+    CoreConfig cfg;
+    cfg.name = "NHM";
+    cfg.robEntries = 128;
+    cfg.iqEntries = 56;
+    cfg.lqEntries = 48;
+    cfg.sqEntries = 36;
+    cfg.rfEntries = 64;
+    return cfg;
+}
+
+CoreConfig
+configByName(const std::string &name)
+{
+    if (name == "SKL")
+        return skylakeConfig();
+    if (name == "HSW")
+        return haswellConfig();
+    if (name == "NHM")
+        return nehalemConfig();
+    fatal("unknown core config '%s'", name.c_str());
+}
+
+} // namespace noreba

@@ -1,0 +1,765 @@
+#include "uarch/core.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace noreba {
+
+namespace {
+
+bool
+recHasDest(const TraceRecord &rec)
+{
+    return rec.rd > REG_ZERO || rec.rd >= FREG_BASE;
+}
+
+/** Byte ranges of two memory records overlap. */
+bool
+memOverlap(const TraceRecord &a, const TraceRecord &b)
+{
+    uint64_t aLo = a.addrOrImm, aHi = aLo + a.memSize;
+    uint64_t bLo = b.addrOrImm, bHi = bLo + b.memSize;
+    return aLo < bHi && bLo < aHi;
+}
+
+} // namespace
+
+Core::Core(const CoreConfig &cfg, const DynamicTrace &trace,
+           const std::vector<uint8_t> &misp)
+    : cfg_(cfg), trace_(trace), misp_(misp),
+      policy_(makeCommitPolicy(cfg)), mem_(cfg),
+      tlb_(cfg.tlbEntries, cfg.tlbMissPenalty),
+      committed_(trace.size(), 0)
+{
+    panic_if(misp.size() != trace.size(),
+             "misprediction vector does not match the trace");
+    // All policies — oracles included — pay the front-end cost of
+    // re-fetching instructions that already committed out-of-order
+    // (they are dropped at decode). The paper's "no misspeculation
+    // penalty" for the speculative oracles refers to the architectural
+    // rollback, which a trace-driven model does not need; the pipeline
+    // flush and refetch are real in every design.
+    freeCommittedSkip_ = false;
+}
+
+Core::~Core() = default;
+
+InFlight *
+Core::alloc()
+{
+    InFlight *p;
+    if (!freeList_.empty()) {
+        p = freeList_.back();
+        freeList_.pop_back();
+    } else {
+        storage_.emplace_back();
+        p = &storage_.back();
+    }
+    uint64_t gen = p->gen;
+    *p = InFlight{};
+    p->gen = gen + 1;
+    return p;
+}
+
+void
+Core::free(InFlight *p)
+{
+    auto it = inflightByIdx_.find(p->idx);
+    if (it != inflightByIdx_.end() && it->second == p)
+        inflightByIdx_.erase(it);
+    ++p->gen;
+    freeList_.push_back(p);
+}
+
+InFlight *
+Core::findInFlight(TraceIdx idx) const
+{
+    auto it = inflightByIdx_.find(idx);
+    return it == inflightByIdx_.end() ? nullptr : it->second;
+}
+
+TraceIdx
+Core::youngestUnresolvedBefore(TraceIdx idx) const
+{
+    auto it = unresolvedBranches_.lower_bound(idx);
+    if (it == unresolvedBranches_.begin())
+        return TRACE_NONE;
+    return *std::prev(it);
+}
+
+TraceIdx
+Core::oldestUnresolvedBranch() const
+{
+    for (InFlight *p : rob_)
+        if (!p->committed && p->isBranch && !p->resolved)
+            return p->idx;
+    return INT32_MAX;
+}
+
+TraceIdx
+Core::oldestUncheckedMem() const
+{
+    for (InFlight *p : rob_) {
+        if (p->committed)
+            continue;
+        if (isMem(p->rec->op) && !tlbDone(p))
+            return p->idx;
+    }
+    return INT32_MAX;
+}
+
+bool
+Core::fenceAllows(const InFlight *p) const
+{
+    // Multi-core barrier: a FENCE and everything younger commit in
+    // program order (Section 4.5).
+    return fences_.empty() || *fences_.begin() >= p->idx;
+}
+
+bool
+Core::commitEligibleBasic(const InFlight *p) const
+{
+    if (!fenceAllows(p))
+        return false;
+    if (p->rec->op == Opcode::FENCE)
+        return p->completed && p->idx == cursor_;
+    if (p->completed)
+        return true;
+    // ECL: a load may retire once it is guaranteed not to fault
+    // (translation succeeded), even before its data returns [DeSC].
+    if (cfg_.earlyCommitLoads && isLoad(p->rec->op) && tlbDone(p))
+        return true;
+    return false;
+}
+
+bool
+Core::olderSamePcUnresolved(const InFlight *f) const
+{
+    return olderSitePcUnresolved(f->rec->pc, f->idx);
+}
+
+bool
+Core::olderSitePcUnresolved(uint64_t pc, TraceIdx before) const
+{
+    if (!cfg_.srob.enforceInstanceOrder)
+        return false;
+    for (auto it = unresolvedBranches_.begin();
+         it != unresolvedBranches_.end() && *it < before; ++it) {
+        if (trace_.records[static_cast<size_t>(*it)].pc == pc)
+            return true;
+    }
+    return false;
+}
+
+bool
+Core::guardChainResolved(InFlight *p)
+{
+    // Walk the dynamic guard chain. Every element must have resolved.
+    // For *order-sensitive* instructions (cross-instance data flows,
+    // see the compiler pass), each chain site must additionally have
+    // no older unresolved instance: the chain only names the latest
+    // instance of each site, but the consumed values may have flowed
+    // through older ones. The walk continues through committed
+    // elements for that purpose, and stops as soon as no branch older
+    // than the element is unresolved (nothing left to wait for).
+    if (cfg_.srob.enforceInstanceOrder && p->rec->orderStrict &&
+        youngestUnresolvedBefore(p->idx) != TRACE_NONE) {
+        // Strict region: the marking could not express this
+        // instruction's dependence, so it waits for full Condition 5.
+        return false;
+    }
+    const bool sensitive = p->rec->orderSensitive;
+    TraceIdx g = p->rec->guardIdx;
+    while (g >= 0) {
+        if (unresolvedBranches_.empty() ||
+            *unresolvedBranches_.begin() > g) {
+            break; // everything at or below g has resolved
+        }
+        const TraceRecord &rec = trace_.records[static_cast<size_t>(g)];
+        if (sensitive && olderSitePcUnresolved(rec.pc, g))
+            return false;
+        if (!committed_[static_cast<size_t>(g)]) {
+            InFlight *f = findInFlight(g);
+            if (!f)
+                return false; // guard squashed: treat as unresolved
+            if (!f->resolved)
+                return false;
+        }
+        g = rec.guardIdx;
+    }
+    return true;
+}
+
+void
+Core::commit(InFlight *p)
+{
+    panic_if(p->committed, "double commit of trace idx %d", p->idx);
+    if (commitHook)
+        commitHook(*this, *p);
+    committed_[static_cast<size_t>(p->idx)] = 1;
+    p->committed = true;
+    ++commitsThisCycle_;
+    ++stats_.committedInsts;
+    // "Committed out of order" in the paper's sense: retired while an
+    // older branch was still unresolved (Condition 5 relaxed).
+    if (!unresolvedBranches_.empty() &&
+        *unresolvedBranches_.begin() < p->idx) {
+        ++stats_.committedOoO;
+    }
+    if (p->idx > cursor_)
+        ++stats_.committedAhead;
+
+    --windowUsed_;
+    ++stats_.robReads;
+    const TraceRecord &rec = *p->rec;
+    if (recHasDest(rec))
+        --physUsed_;
+    if (isLoad(rec.op)) {
+        --lqUsed_;
+        ++stats_.lsqOps;
+    } else if (isStore(rec.op)) {
+        --sqUsed_;
+        ++stats_.lsqOps;
+        // Retire the store into the memory system.
+        mem_.access(rec.addrOrImm, true);
+        ++stats_.dcacheAccesses;
+        auto it = std::find(sq_.begin(), sq_.end(), p);
+        if (it != sq_.end())
+            sq_.erase(it);
+    }
+    if (rec.op == Opcode::FENCE)
+        fences_.erase(p->idx);
+    // Advance eagerly so "out of order" means "older work still
+    // pending at the moment of commit", and so CIT reclamation and
+    // allocation see an exact in-order frontier.
+    advanceCursor();
+}
+
+void
+Core::advanceCursor()
+{
+    while (cursor_ < static_cast<TraceIdx>(trace_.size()) &&
+           committed_[static_cast<size_t>(cursor_)]) {
+        ++cursor_;
+    }
+}
+
+void
+Core::releaseResources(InFlight *p)
+{
+    --windowUsed_;
+    const TraceRecord &rec = *p->rec;
+    if (recHasDest(rec))
+        --physUsed_;
+    if (isLoad(rec.op))
+        --lqUsed_;
+    else if (isStore(rec.op))
+        --sqUsed_;
+    if (p->inIq)
+        --iqUsed_;
+    if (rec.op == Opcode::FENCE)
+        fences_.erase(p->idx);
+}
+
+void
+Core::rebuildRenameTable()
+{
+    for (auto &ref : renameTable_)
+        ref = InFlight::SrcRef{};
+    for (InFlight *p : rob_) {
+        if (p->committed)
+            continue;
+        if (recHasDest(*p->rec))
+            renameTable_[p->rec->rd] = {p, p->gen};
+    }
+}
+
+void
+Core::squashAfter(InFlight *b)
+{
+    ++stats_.squashes;
+
+    // Front end restarts on the correct path after the redirect.
+    for (InFlight *p : ifq_)
+        free(p);
+    ifq_.clear();
+    for (InFlight *p : decodedQ_)
+        free(p);
+    decodedQ_.clear();
+    fetchIdx_ = b->idx + 1;
+    fetchResumeAt_ = std::max(fetchResumeAt_,
+                              cycle_ + static_cast<Cycle>(
+                                           cfg_.redirectPenalty));
+    lastFetchLine_ = ~0ull;
+
+    // Remove younger instructions from the window. Committed ones stay
+    // committed (their re-fetch is CIT-dropped at decode); uncommitted
+    // ones release their resources and vanish.
+    std::vector<InFlight *> squashed;
+    while (!rob_.empty() && rob_.back()->idx > b->idx) {
+        InFlight *p = rob_.back();
+        rob_.pop_back();
+        if (p->committed) {
+            if (p->completed) {
+                free(p);
+            } else {
+                // A committed-early zombie leaves the window; its
+                // pending completion must not trigger a (stale)
+                // misprediction squash after this one rewound fetch.
+                p->resolved = true;
+            }
+        } else {
+            releaseResources(p);
+            squashed.push_back(p);
+            ++stats_.squashedInsts;
+        }
+    }
+
+    unresolvedBranches_.erase(unresolvedBranches_.upper_bound(b->idx),
+                              unresolvedBranches_.end());
+
+    auto isSquashed = [b](InFlight *p) { return p->idx > b->idx; };
+    iq_.erase(std::remove_if(iq_.begin(), iq_.end(),
+                             [&](InFlight *p) {
+                                 return !p->committed && isSquashed(p);
+                             }),
+              iq_.end());
+    sq_.erase(std::remove_if(sq_.begin(), sq_.end(),
+                             [&](InFlight *p) {
+                                 return !p->committed && isSquashed(p);
+                             }),
+              sq_.end());
+
+    policy_->onSquash(*this, b->idx);
+
+    for (InFlight *p : squashed)
+        free(p);
+
+    rebuildRenameTable();
+}
+
+void
+Core::writebackStage()
+{
+    while (!events_.empty() && events_.top().cycle <= cycle_) {
+        Event e = events_.top();
+        events_.pop();
+        InFlight *p = e.p;
+        if (p->gen != e.gen)
+            continue; // squashed and recycled
+        p->completed = true;
+        ++stats_.cdbBroadcasts;
+        if (recHasDest(*p->rec))
+            ++stats_.rfWrites;
+        if (p->isBranch && !p->resolved) {
+            // Branches resolve even if a speculative policy committed
+            // them early: the pipeline flush on a misprediction is
+            // real in every design (only the architectural rollback is
+            // the oracle's freebie).
+            p->resolved = true;
+            unresolvedBranches_.erase(p->idx);
+            ++stats_.branches;
+            if (p->mispredicted) {
+                ++stats_.mispredicts;
+                squashAfter(p);
+            }
+        }
+        if (p->committed) {
+            // An early-reclaimed zombie finishing after commit.
+            bool inRob =
+                std::find(rob_.begin(), rob_.end(), p) != rob_.end();
+            if (!inRob)
+                free(p);
+            continue;
+        }
+    }
+}
+
+void
+Core::commitStage()
+{
+    commitsThisCycle_ = 0;
+    policy_->commitCycle(*this);
+    advanceCursor();
+
+    // Reclaim fully-retired entries at the head of the master ROB.
+    while (!rob_.empty() && rob_.front()->committed) {
+        InFlight *p = rob_.front();
+        rob_.pop_front();
+        if (p->completed)
+            free(p);
+        // else an ECL zombie: its completion event frees it.
+    }
+
+    if (commitsThisCycle_ == 0 && !rob_.empty()) {
+        InFlight *head = rob_.front();
+        if (head->isBranch && !head->resolved)
+            ++stats_.commitHeadBranchStall;
+        else if (isMem(head->rec->op) && !head->completed)
+            ++stats_.commitHeadLoadStall;
+        if (cfg_.attributeStalls && !unresolvedBranches_.empty()) {
+            // Figure 7: charge the stalled cycle to the oldest branch
+            // that is still unresolved — the one in-order commit (and
+            // every non-speculative OoO-commit condition) is waiting
+            // for before the window can drain.
+            TraceIdx b = *unresolvedBranches_.begin();
+            ++stats_.branchStalls[trace_.records[static_cast<size_t>(b)]
+                                      .pc]
+                  .stallCycles;
+        }
+    }
+}
+
+bool
+Core::fuAvailable(FuClass cls)
+{
+    int used = fuUsed_[static_cast<int>(cls)];
+    switch (cls) {
+      case FuClass::IntAlu: return used < cfg_.numIntAlu;
+      case FuClass::IntMul: return used < cfg_.numIntMul;
+      case FuClass::IntDiv:
+        return used < cfg_.numIntDiv && divFreeAt_ <= cycle_;
+      case FuClass::FpAlu: return used < cfg_.numFpAlu;
+      case FuClass::FpMul: return used < cfg_.numFpMul;
+      case FuClass::FpDiv:
+        return used < cfg_.numFpDiv && fdivFreeAt_ <= cycle_;
+      case FuClass::MemRead: return used < cfg_.numLoadPorts;
+      case FuClass::MemWrite: return used < cfg_.numStorePorts;
+      case FuClass::Branch: return used < cfg_.numBranchUnits;
+      default: return true;
+    }
+}
+
+void
+Core::consumeFu(FuClass cls, int latency)
+{
+    ++fuUsed_[static_cast<int>(cls)];
+    if (cls == FuClass::IntDiv)
+        divFreeAt_ = cycle_ + static_cast<Cycle>(latency);
+    else if (cls == FuClass::FpDiv)
+        fdivFreeAt_ = cycle_ + static_cast<Cycle>(latency);
+}
+
+int
+Core::loadLatency(InFlight *p, bool &blocked)
+{
+    const TraceRecord &rec = *p->rec;
+    bool forward = false;
+    for (InFlight *s : sq_) {
+        if (s->idx >= p->idx)
+            break; // program order: the rest are younger
+        if (!memOverlap(*s->rec, rec))
+            continue;
+        if (!s->completed) {
+            blocked = true; // wait for the producing store's data
+            return 0;
+        }
+        forward = true;
+    }
+    int tlbLat = tlb_.access(rec.addrOrImm);
+    p->tlbChecked = true;
+    p->tlbDoneAt = cycle_ + static_cast<Cycle>(tlbLat);
+    if (forward)
+        return tlbLat + 2; // store-to-load forwarding
+    int cacheLat = mem_.access(rec.addrOrImm, false);
+    ++stats_.dcacheAccesses;
+    if (cfg_.prefetcher)
+        dcpt_.observe(rec.pc, rec.addrOrImm, mem_);
+    return tlbLat + cacheLat;
+}
+
+void
+Core::issueStage()
+{
+    std::fill(std::begin(fuUsed_), std::end(fuUsed_), 0);
+    int budget = cfg_.issueWidth;
+
+    // Store address generation is decoupled from store data: the
+    // page-table check (which gates NOREBA steering and the C2 memory
+    // barrier) needs only the address operand.
+    for (InFlight *p : iq_) {
+        if (isStore(p->rec->op) && !p->tlbChecked && p->addrReady()) {
+            int tlbLat = tlb_.access(p->rec->addrOrImm);
+            p->tlbChecked = true;
+            p->tlbDoneAt = cycle_ + static_cast<Cycle>(tlbLat);
+        }
+    }
+
+    size_t out = 0;
+    for (size_t i = 0; i < iq_.size(); ++i) {
+        InFlight *p = iq_[i];
+        bool keep = true;
+        if (budget > 0 && p->srcsReady()) {
+            const TraceRecord &rec = *p->rec;
+            FuClass cls = fuClass(rec.op);
+            if (fuAvailable(cls)) {
+                int latency = 0;
+                bool blocked = false;
+                if (isLoad(rec.op)) {
+                    latency = loadLatency(p, blocked);
+                } else if (isStore(rec.op)) {
+                    if (!p->tlbChecked) {
+                        int tlbLat = tlb_.access(rec.addrOrImm);
+                        p->tlbChecked = true;
+                        p->tlbDoneAt =
+                            cycle_ + static_cast<Cycle>(tlbLat);
+                    }
+                    latency = 1;
+                } else {
+                    latency = execLatency(rec.op);
+                }
+                if (!blocked) {
+                    consumeFu(cls, latency);
+                    p->issued = true;
+                    p->inIq = false;
+                    --iqUsed_;
+                    ++stats_.issued;
+                    switch (cls) {
+                      case FuClass::IntAlu:
+                      case FuClass::Branch:
+                        ++stats_.intAluOps;
+                        break;
+                      case FuClass::IntMul:
+                      case FuClass::IntDiv:
+                        ++stats_.cmplxAluOps;
+                        break;
+                      case FuClass::FpAlu:
+                      case FuClass::FpMul:
+                      case FuClass::FpDiv:
+                        ++stats_.fpAluOps;
+                        break;
+                      default:
+                        break;
+                    }
+                    stats_.rfReads +=
+                        static_cast<uint64_t>(p->numSrcs);
+                    events_.push(Event{cycle_ +
+                                           static_cast<Cycle>(latency),
+                                       p->seq, p, p->gen});
+                    --budget;
+                    keep = false;
+                }
+            }
+        }
+        if (keep)
+            iq_[out++] = p;
+    }
+    iq_.resize(out);
+}
+
+void
+Core::dispatchStage()
+{
+    int budget = cfg_.dispatchWidth;
+    bool chargedWindowStall = false;
+    while (budget > 0 && !decodedQ_.empty()) {
+        InFlight *p = decodedQ_.front();
+        if (p->decodeReadyAt > cycle_)
+            break;
+        const TraceRecord &rec = *p->rec;
+        FuClass cls = fuClass(rec.op);
+
+        if (!policy_->windowHasSpace(*this)) {
+            if (!chargedWindowStall) {
+                ++stats_.windowFullCycles;
+                chargedWindowStall = true;
+            }
+            break;
+        }
+        if (cls != FuClass::None && iqUsed_ >= cfg_.iqEntries)
+            break;
+        if (isLoad(rec.op) && lqUsed_ >= cfg_.lqEntries)
+            break;
+        if (isStore(rec.op) && sqUsed_ >= cfg_.sqEntries)
+            break;
+        if (recHasDest(rec) && physUsed_ >= cfg_.rfEntries)
+            break;
+
+        decodedQ_.pop_front();
+        p->dispatched = true;
+        p->seq = nextSeq_++;
+        p->isBranch = rec.isBranchSite();
+
+        // Rename: resolve sources against the latest producers.
+        p->numSrcs = 0;
+        for (Reg r : {rec.rs1, rec.rs2, rec.rs3}) {
+            if (r == REG_NONE || r == REG_ZERO)
+                continue;
+            if (isMem(rec.op) && r == rec.rs1)
+                p->addrSrc = p->numSrcs; // address operand
+            p->srcs[p->numSrcs++] = renameTable_[r];
+        }
+        if (recHasDest(rec)) {
+            renameTable_[rec.rd] = {p, p->gen};
+            ++physUsed_;
+        }
+        ++stats_.renameOps;
+        ++stats_.robWrites;
+        ++stats_.dispatched;
+
+        rob_.push_back(p);
+        ++windowUsed_;
+        inflightByIdx_[p->idx] = p;
+        if (p->isBranch)
+            unresolvedBranches_.insert(p->idx);
+
+        if (cls == FuClass::None) {
+            p->completed = true; // NOP/HALT: nothing to execute
+        } else {
+            iq_.push_back(p);
+            p->inIq = true;
+            ++iqUsed_;
+            ++stats_.iqWrites;
+        }
+        if (isLoad(rec.op))
+            ++lqUsed_;
+        else if (isStore(rec.op)) {
+            ++sqUsed_;
+            sq_.push_back(p);
+        }
+        if (rec.op == Opcode::FENCE)
+            fences_.insert(p->idx);
+
+        if (cfg_.attributeStalls) {
+            if (p->isBranch)
+                ++stats_.branchStalls[rec.pc].instances;
+            if (rec.guardIdx >= 0)
+                ++stats_.branchStalls[trace_.records[rec.guardIdx].pc]
+                      .dependents;
+        }
+
+        policy_->onDispatch(*this, p);
+        --budget;
+    }
+}
+
+void
+Core::decodeStage()
+{
+    int budget = cfg_.decodeWidth;
+    const size_t decodedCap =
+        static_cast<size_t>(4 * cfg_.dispatchWidth);
+    while (budget > 0 && !ifq_.empty() &&
+           decodedQ_.size() < decodedCap) {
+        InFlight *p = ifq_.front();
+        if (p->fetchAt + static_cast<Cycle>(cfg_.fetchToDecode) > cycle_)
+            break;
+        ifq_.pop_front();
+        --budget;
+        const TraceRecord &rec = *p->rec;
+        if (rec.isSetup()) {
+            // Setup instructions program the BIT/DCT and are dropped
+            // (Section 4.1): they consumed a fetch slot only.
+            if (rec.op == Opcode::SET_BRANCH_ID)
+                ++stats_.bitOps;
+            else
+                ++stats_.dctOps;
+            committed_[static_cast<size_t>(p->idx)] = 1;
+            free(p);
+            continue;
+        }
+        ++stats_.dctOps; // every instruction checks the DCT counter
+        if (committed_[static_cast<size_t>(p->idx)]) {
+            // Re-fetch of an instruction that already committed
+            // out-of-order: CIT hit, dropped at decode (Section 4.3).
+            ++stats_.citDrops;
+            ++stats_.citOps;
+            free(p);
+            continue;
+        }
+        p->decodeReadyAt = cycle_ + static_cast<Cycle>(
+                                        cfg_.decodeToDispatch);
+        decodedQ_.push_back(p);
+    }
+}
+
+void
+Core::fetchStage()
+{
+    if (cycle_ < fetchResumeAt_)
+        return;
+    int budget = cfg_.fetchWidth;
+    while (budget > 0 && fetchIdx_ < static_cast<TraceIdx>(trace_.size()) &&
+           ifq_.size() < static_cast<size_t>(cfg_.ifqEntries)) {
+        if (freeCommittedSkip_ &&
+            committed_[static_cast<size_t>(fetchIdx_)]) {
+            // Oracle policies (ideal ROB, no misspeculation cost) do
+            // not pay fetch slots to re-skip already-committed work.
+            ++fetchIdx_;
+            continue;
+        }
+        const TraceRecord &rec = trace_.records[static_cast<size_t>(
+            fetchIdx_)];
+        uint64_t line = rec.pc >> 6;
+        if (line != lastFetchLine_) {
+            ++stats_.icacheAccesses;
+            int latency = mem_.fetchAccess(rec.pc);
+            lastFetchLine_ = line;
+            if (latency > 0) {
+                fetchResumeAt_ = cycle_ + static_cast<Cycle>(latency);
+                stats_.icacheStallCycles +=
+                    static_cast<uint64_t>(latency);
+                break;
+            }
+        }
+        InFlight *p = alloc();
+        p->idx = fetchIdx_;
+        p->rec = &rec;
+        p->fetchAt = cycle_;
+        p->mispredicted = misp_[static_cast<size_t>(fetchIdx_)] != 0;
+        ifq_.push_back(p);
+        ++stats_.fetched;
+        if (rec.isSetup())
+            ++stats_.setupFetched;
+        if (rec.isBranchSite())
+            ++stats_.bpredLookups;
+        ++fetchIdx_;
+        --budget;
+        // A taken control transfer ends the fetch group.
+        if ((rec.isBranchSite() && rec.taken) || rec.op == Opcode::JAL)
+            break;
+    }
+}
+
+CoreStats
+Core::run()
+{
+    const TraceIdx end = static_cast<TraceIdx>(trace_.size());
+    TraceIdx lastCursor = -1;
+    Cycle lastProgress = 0;
+
+    while (cursor_ < end) {
+        writebackStage();
+        commitStage();
+        issueStage();
+        dispatchStage();
+        decodeStage();
+        fetchStage();
+
+        if (cursor_ != lastCursor) {
+            lastCursor = cursor_;
+            lastProgress = cycle_;
+        } else if (cycle_ - lastProgress > 500000) {
+            panic("no forward progress for 500k cycles at trace idx %d "
+                  "(policy %s, rob %zu, windowUsed %d)",
+                  cursor_, policy_->name(), rob_.size(), windowUsed_);
+        }
+        ++cycle_;
+    }
+
+    stats_.cycles = cycle_;
+    stats_.l2Accesses = mem_.l2().hits() + mem_.l2().misses();
+    stats_.l3Accesses = mem_.l3().hits() + mem_.l3().misses();
+    return stats_;
+}
+
+bool
+CommitPolicy::windowHasSpace(const Core &core) const
+{
+    // Collapsing/conventional ROB: an entry is reclaimed the moment it
+    // commits, so occupancy is the uncommitted in-flight count.
+    return core.windowUsed() < core.config().robEntries;
+}
+
+} // namespace noreba

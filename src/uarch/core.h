@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Trace-driven, cycle-level out-of-order core. The pipeline models
+ * fetch (IFQ + predictor + L1I), decode (setup-instruction dropping and
+ * CIT re-fetch filtering), rename/dispatch (ROB/IQ/LQ/SQ/PRF limits),
+ * issue (FU pools, cache hierarchy + DCPT, store-to-load forwarding),
+ * writeback (wakeup, branch resolution, misprediction squash) and a
+ * pluggable commit stage (see uarch/commit/).
+ *
+ * Misprediction handling: fetch continues past a mispredicted branch
+ * (the subsequent correct-path trace stands in for wrong-path fetch);
+ * at resolution, younger *uncommitted* instructions are squashed and
+ * re-fetched after the redirect penalty, while instructions that a
+ * policy already committed out-of-order are dropped at decode on their
+ * re-fetch — consuming a fetch slot — exactly the paper's CIT flow
+ * (Section 4.3).
+ */
+
+#ifndef NOREBA_UARCH_CORE_H
+#define NOREBA_UARCH_CORE_H
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "uarch/branch_predictor.h"
+#include "uarch/cache.h"
+#include "uarch/commit/commit_policy.h"
+#include "uarch/config.h"
+#include "uarch/inflight.h"
+#include "uarch/prefetcher.h"
+#include "uarch/stats.h"
+
+namespace noreba {
+
+class Core
+{
+  public:
+    /**
+     * @param cfg    core configuration
+     * @param trace  dynamic trace to replay
+     * @param misp   per-record misprediction verdicts
+     *               (precomputeMispredictions)
+     */
+    Core(const CoreConfig &cfg, const DynamicTrace &trace,
+         const std::vector<uint8_t> &misp);
+    ~Core();
+
+    /** Simulate until every trace record has committed. */
+    CoreStats run();
+
+    /** @name Policy-facing API @{ */
+    const CoreConfig &config() const { return cfg_; }
+    Cycle now() const { return cycle_; }
+    const DynamicTrace &trace() const { return trace_; }
+    CoreStats &stats() { return stats_; }
+
+    /** Master ROB: dispatched, not yet reclaimed, program order. */
+    std::deque<InFlight *> &rob() { return rob_; }
+
+    /** Dispatched-but-uncommitted instruction count (ROB occupancy). */
+    int windowUsed() const { return windowUsed_; }
+
+    /** Oldest not-yet-committed trace index (== size() when done). */
+    TraceIdx oldestUncommitted() const { return cursor_; }
+
+    bool
+    isCommitted(TraceIdx idx) const
+    {
+        return committed_[static_cast<size_t>(idx)] != 0;
+    }
+
+    /** Retire one instruction: resources freed, stats updated. */
+    void commit(InFlight *p);
+
+    /** Trace index of the oldest in-flight unresolved branch. */
+    TraceIdx oldestUnresolvedBranch() const;
+
+    /** Oldest in-flight memory op whose TLB check hasn't completed. */
+    TraceIdx oldestUncheckedMem() const;
+
+    /** Memory op with its address translated by now. */
+    bool
+    tlbDone(const InFlight *p) const
+    {
+        return p->tlbChecked && cycle_ >= p->tlbDoneAt;
+    }
+
+    /**
+     * Basic commit eligibility shared by all policies: completed (or an
+     * ECL-eligible load) and not blocked by an older FENCE.
+     */
+    bool commitEligibleBasic(const InFlight *p) const;
+
+    /** No older uncommitted FENCE blocks this instruction. */
+    bool fenceAllows(const InFlight *p) const;
+
+    /** The instruction's full compiler guard chain has resolved. */
+    bool guardChainResolved(InFlight *p);
+
+    /**
+     * An older, still-unresolved dynamic instance of the same static
+     * branch exists. Dependents are marked with the *latest* instance
+     * (the BIT holds one sequence number per ID), so instances of one
+     * static branch must retire in order for that marking to be sound.
+     */
+    bool olderSamePcUnresolved(const InFlight *f) const;
+
+    /** Same check by static site PC, for (possibly committed) chain
+     *  elements older than `before`. */
+    bool olderSitePcUnresolved(uint64_t pc, TraceIdx before) const;
+
+    /** Find an in-flight instruction by trace index (nullptr if none). */
+    InFlight *findInFlight(TraceIdx idx) const;
+
+    /**
+     * Youngest in-flight unresolved branch older than `idx`, or
+     * TRACE_NONE. This is the "most recent unresolved branch" recorded
+     * with each CIT entry (Section 4.3).
+     */
+    TraceIdx youngestUnresolvedBefore(TraceIdx idx) const;
+
+    /** Dispatched branches that have not resolved yet (test oracle). */
+    const std::set<TraceIdx> &unresolvedBranches() const
+    {
+        return unresolvedBranches_;
+    }
+
+    /**
+     * Test-only observation hook, invoked on every commit with the
+     * retiring instruction (before resources are released). Used by the
+     * dynamic safety checker in the test suite.
+     */
+    std::function<void(const Core &, const InFlight &)> commitHook;
+    /** @} */
+
+  private:
+    friend class CommitPolicy;
+
+    /** @name Pipeline stages (one call per cycle each) @{ */
+    void writebackStage();
+    void commitStage();
+    void issueStage();
+    void dispatchStage();
+    void decodeStage();
+    void fetchStage();
+    /** @} */
+
+    /** Squash everything younger than `b` that has not committed. */
+    void squashAfter(InFlight *b);
+
+    /** Release pool storage (bumps the generation). */
+    void free(InFlight *p);
+    InFlight *alloc();
+
+    void releaseResources(InFlight *p);
+    void rebuildRenameTable();
+    void advanceCursor();
+    int loadLatency(InFlight *p, bool &blocked);
+    bool fuAvailable(FuClass cls);
+    void consumeFu(FuClass cls, int latency);
+
+    const CoreConfig cfg_;
+    const DynamicTrace &trace_;
+    const std::vector<uint8_t> &misp_;
+
+    std::unique_ptr<CommitPolicy> policy_;
+    MemoryHierarchy mem_;
+    DcptPrefetcher dcpt_;
+    Tlb tlb_;
+
+    /** @name Object pool @{ */
+    std::deque<InFlight> storage_;
+    std::vector<InFlight *> freeList_;
+    /** @} */
+
+    /** @name Front end @{ */
+    TraceIdx fetchIdx_ = 0;
+    Cycle fetchResumeAt_ = 0;
+    uint64_t lastFetchLine_ = ~0ull;
+    std::deque<InFlight *> ifq_;
+    std::deque<InFlight *> decodedQ_;
+    /** @} */
+
+    /** @name Window @{ */
+    std::deque<InFlight *> rob_; //!< master order; may hold committed
+    std::vector<InFlight *> iq_;
+    std::deque<InFlight *> sq_; //!< in-flight stores (forwarding)
+    int windowUsed_ = 0;
+    int iqUsed_ = 0;
+    int lqUsed_ = 0;
+    int sqUsed_ = 0;
+    int physUsed_ = 0;
+    InFlight::SrcRef renameTable_[NUM_ARCH_REGS];
+    std::set<TraceIdx> fences_;
+    std::set<TraceIdx> unresolvedBranches_; //!< dispatched, unresolved
+    std::unordered_map<TraceIdx, InFlight *> inflightByIdx_;
+    uint64_t nextSeq_ = 1;
+    /** @} */
+
+    /** @name Execution @{ */
+    struct Event
+    {
+        Cycle cycle;
+        uint64_t seq;
+        InFlight *p;
+        uint64_t gen;
+        bool operator>(const Event &o) const
+        {
+            return cycle != o.cycle ? cycle > o.cycle : seq > o.seq;
+        }
+    };
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        events_;
+    /** Per-cycle FU accounting: counts used this cycle per class. */
+    int fuUsed_[static_cast<int>(FuClass::NUM_CLASSES)] = {};
+    Cycle divFreeAt_ = 0;   //!< unpipelined integer divider
+    Cycle fdivFreeAt_ = 0;  //!< unpipelined FP divider
+    /** @} */
+
+    /** @name Commit tracking @{ */
+    std::vector<uint8_t> committed_;
+    TraceIdx cursor_ = 0; //!< oldest uncommitted trace index
+    uint64_t commitsThisCycle_ = 0;
+    /** @} */
+
+    Cycle cycle_ = 0;
+    CoreStats stats_;
+    /** Oracle policies skip re-fetch of committed records for free. */
+    bool freeCommittedSkip_ = false;
+
+    friend class InOrderCommit;
+    friend class NonSpecOoOCommit;
+    friend class NorebaCommit;
+    friend class IdealReconvCommit;
+    friend class SpeculativeCommit;
+};
+
+} // namespace noreba
+
+#endif // NOREBA_UARCH_CORE_H

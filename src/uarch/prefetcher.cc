@@ -1,0 +1,68 @@
+#include "uarch/prefetcher.h"
+
+#include "uarch/cache.h"
+
+namespace noreba {
+
+void
+DcptPrefetcher::observe(uint64_t pc, uint64_t addr, MemoryHierarchy &mem)
+{
+    constexpr int BLOCK_SHIFT = 6; // 64 B lines
+    int64_t block = static_cast<int64_t>(addr >> BLOCK_SHIFT);
+
+    Entry &e = table_[(pc >> 2) % TABLE_ENTRIES];
+    if (!e.valid || e.pc != pc) {
+        e = Entry{};
+        e.pc = pc;
+        e.valid = true;
+        e.lastAddr = block;
+        return;
+    }
+
+    int64_t delta = block - e.lastAddr;
+    e.lastAddr = block;
+    if (delta == 0)
+        return; // same-line access carries no new information
+    // Saturate very large deltas so the buffer stays meaningful.
+    if (delta > INT32_MAX || delta < INT32_MIN)
+        delta = 0;
+
+    e.deltas[e.head] = static_cast<int32_t>(delta);
+    int newest = e.head;
+    e.head = (e.head + 1) % NUM_DELTAS;
+
+    // Pattern match: find the most recent earlier occurrence of the
+    // (previous delta, newest delta) pair, then replay what followed.
+    int prev = (newest + NUM_DELTAS - 1) % NUM_DELTAS;
+    int32_t d1 = e.deltas[prev], d2 = e.deltas[newest];
+    if (d1 == 0 || d2 == 0)
+        return;
+
+    for (int back = 2; back < NUM_DELTAS - 1; ++back) {
+        int i1 = (newest + NUM_DELTAS - back - 1) % NUM_DELTAS;
+        int i2 = (newest + NUM_DELTAS - back) % NUM_DELTAS;
+        if (e.deltas[i1] != d1 || e.deltas[i2] != d2)
+            continue;
+        ++patternHits_;
+        // Replay the deltas that followed the match.
+        int64_t target = block;
+        int issuedHere = 0;
+        int pos = (i2 + 1) % NUM_DELTAS;
+        while (pos != e.head && issuedHere < MAX_PREFETCHES) {
+            if (e.deltas[pos] == 0)
+                break;
+            target += e.deltas[pos];
+            if (target > e.lastPrefetch || target < block) {
+                mem.prefetch(static_cast<uint64_t>(target)
+                             << BLOCK_SHIFT);
+                e.lastPrefetch = target;
+                ++issued_;
+                ++issuedHere;
+            }
+            pos = (pos + 1) % NUM_DELTAS;
+        }
+        break;
+    }
+}
+
+} // namespace noreba

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Delta-Correlating Prediction Tables (DCPT) prefetcher, after
+ * Grannaes, Jahre & Natvig (JILP 2011), the prefetcher the paper uses
+ * in its baseline (Table 2).
+ *
+ * One table entry per load PC holds the last miss address, the last
+ * prefetch issued, and a circular buffer of the most recent address
+ * deltas. On each access, the two most recent deltas are searched for
+ * in the buffer; on a match, the deltas that followed the match are
+ * replayed from the current address to form prefetch candidates.
+ */
+
+#ifndef NOREBA_UARCH_PREFETCHER_H
+#define NOREBA_UARCH_PREFETCHER_H
+
+#include <cstdint>
+#include <vector>
+
+namespace noreba {
+
+class MemoryHierarchy;
+
+/** DCPT with a direct-mapped PC-indexed table. */
+class DcptPrefetcher
+{
+  public:
+    static constexpr int TABLE_ENTRIES = 256;
+    static constexpr int NUM_DELTAS = 16;
+    static constexpr int MAX_PREFETCHES = 4;
+
+    DcptPrefetcher() : table_(TABLE_ENTRIES) {}
+
+    /**
+     * Observe a demand access by the load at `pc` to `addr`, and issue
+     * any predicted prefetches into `mem`.
+     */
+    void observe(uint64_t pc, uint64_t addr, MemoryHierarchy &mem);
+
+    uint64_t issued() const { return issued_; }
+    uint64_t patternHits() const { return patternHits_; }
+
+  private:
+    struct Entry
+    {
+        uint64_t pc = 0;
+        bool valid = false;
+        int64_t lastAddr = 0;       //!< in cache-block units
+        int64_t lastPrefetch = 0;   //!< last block prefetched
+        int32_t deltas[NUM_DELTAS] = {};
+        int head = 0;               //!< next write position
+    };
+
+    std::vector<Entry> table_;
+    uint64_t issued_ = 0;
+    uint64_t patternHits_ = 0;
+};
+
+} // namespace noreba
+
+#endif // NOREBA_UARCH_PREFETCHER_H

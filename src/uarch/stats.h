@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Aggregate statistics for one core run, including the per-structure
+ * activity counts the power model consumes (Figure 16) and the
+ * per-branch stall attribution behind Figure 7.
+ */
+
+#ifndef NOREBA_UARCH_STATS_H
+#define NOREBA_UARCH_STATS_H
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace noreba {
+
+/** Per-static-branch stall attribution (Figure 7). */
+struct BranchStall
+{
+    uint64_t stallCycles = 0; //!< cycles this branch blocked commit
+    uint64_t instances = 0;   //!< dynamic executions
+    uint64_t dependents = 0;  //!< dynamic instructions marked dependent
+};
+
+struct CoreStats
+{
+    /** @name Headline @{ */
+    uint64_t cycles = 0;
+    uint64_t committedInsts = 0; //!< architectural (setup excluded)
+    uint64_t committedOoO = 0;   //!< committed past an unresolved branch
+    uint64_t committedAhead = 0; //!< committed past the in-order frontier
+    /** @} */
+
+    /** @name Front end @{ */
+    uint64_t fetched = 0;
+    uint64_t setupFetched = 0;  //!< setup instructions through fetch
+    uint64_t citDrops = 0;      //!< re-fetched already-committed insts
+    uint64_t icacheStallCycles = 0;
+    /** @} */
+
+    /** @name Speculation @{ */
+    uint64_t branches = 0;
+    uint64_t mispredicts = 0;
+    uint64_t squashes = 0;
+    uint64_t squashedInsts = 0;
+    /** @} */
+
+    /** @name Back end @{ */
+    uint64_t dispatched = 0;
+    uint64_t issued = 0;
+    uint64_t windowFullCycles = 0; //!< dispatch blocked on ROB/window
+    uint64_t commitHeadBranchStall = 0; //!< commit idle, head = branch
+    uint64_t commitHeadLoadStall = 0;   //!< commit idle, head = memory
+    uint64_t steerStallCycles = 0;      //!< Noreba ROB' head blocked
+    uint64_t steerStallTlb = 0;         //!< ... on the in-order TLB check
+    uint64_t steerStallCqt = 0;         //!< ... on a full CQT
+    uint64_t steerStallCqFull = 0;      //!< ... on a full commit queue
+    uint64_t citFullStalls = 0;         //!< OoO commit blocked on CIT
+    /** @} */
+
+    /** @name Structure activity (power model inputs) @{ */
+    uint64_t rfReads = 0;
+    uint64_t rfWrites = 0;
+    uint64_t iqWrites = 0;
+    uint64_t iqWakeups = 0;
+    uint64_t robWrites = 0;
+    uint64_t robReads = 0;
+    uint64_t lsqOps = 0;
+    uint64_t bpredLookups = 0;
+    uint64_t icacheAccesses = 0;
+    uint64_t dcacheAccesses = 0;
+    uint64_t l2Accesses = 0;
+    uint64_t l3Accesses = 0;
+    uint64_t intAluOps = 0;
+    uint64_t fpAluOps = 0;
+    uint64_t cmplxAluOps = 0;
+    uint64_t renameOps = 0;
+    uint64_t cdbBroadcasts = 0;
+    uint64_t bitOps = 0;  //!< Branch ID Table reads/writes
+    uint64_t dctOps = 0;  //!< Dependents Counter Table ops
+    uint64_t cqtOps = 0;  //!< Commit Queue Table ops
+    uint64_t citOps = 0;  //!< CIT allocations + lookups + frees
+    uint64_t cqOps = 0;   //!< commit queue pushes + pops
+    /** @} */
+
+    /** Per-branch-PC stall attribution (filled when enabled). */
+    std::unordered_map<uint64_t, BranchStall> branchStalls;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(committedInsts) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    double
+    oooCommitFraction() const
+    {
+        return committedInsts ? static_cast<double>(committedOoO) /
+                                    static_cast<double>(committedInsts)
+                              : 0.0;
+    }
+
+    double
+    aheadCommitFraction() const
+    {
+        return committedInsts
+                   ? static_cast<double>(committedAhead) /
+                         static_cast<double>(committedInsts)
+                   : 0.0;
+    }
+};
+
+} // namespace noreba
+
+#endif // NOREBA_UARCH_STATS_H

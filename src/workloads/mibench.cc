@@ -1,0 +1,459 @@
+/**
+ * @file
+ * MiBench-like workloads: CRC32, dijkstra, qsort, sha, stringsearch,
+ * bitcount. The paper simulates the full MiBench applications; CRC is
+ * one of its best cases (>20% of instructions commit out of order) and
+ * dijkstra one of its worst.
+ */
+
+#include "workloads/util.h"
+
+namespace noreba {
+
+/**
+ * MiBench CRC32 — table-driven CRC over a large buffer, plus a rare
+ * escape-byte branch whose test depends on a table entry loaded from a
+ * 2 MB auxiliary table (slow to resolve). The CRC chain itself and the
+ * buffer stream are independent of that branch, so a large fraction of
+ * the loop commits out of order while it resolves.
+ */
+Program
+buildCrc32(const WorkloadParams &p)
+{
+    Rng rng(p.seed ^ 0xc3c32ull);
+    Program prog("CRC32");
+
+    const int64_t buf = 1 << 20;
+    const int64_t aux = 262144; // 8 B entries -> 2 MB
+    const int64_t iters = scaled(46000, p.scale);
+
+    uint64_t data = prog.allocGlobal(static_cast<uint64_t>(buf));
+    for (int64_t i = 0; i < buf; ++i) {
+        uint8_t v = static_cast<uint8_t>(rng.below(256));
+        prog.pokeBytes(data + static_cast<uint64_t>(i), &v, 1);
+    }
+    uint64_t crctab = prog.allocGlobal(256 * 8);
+    fillRandom64(prog, rng, crctab, 256, 1ull << 32);
+    uint64_t auxtab = prog.allocGlobal(static_cast<uint64_t>(aux) * 8);
+    for (int64_t i = 0; i < aux; ++i) // ~5% "escape" markers
+        prog.poke64(auxtab + static_cast<uint64_t>(i) * 8,
+                    rng.chance(0.05) ? 1 : 0);
+
+    const AliasRegion R_DATA = 1, R_TAB = 2, R_AUX = 3;
+
+    IRBuilder b(prog);
+    int entry = b.newBlock("entry");
+    int loop = b.newBlock("byte");
+    int escape = b.newBlock("escape");
+    int nextB = b.newBlock("next");
+    int done = b.newBlock("done");
+
+    // S2=data S3=tab S4=aux S5=i S6=iters S7=crc S8=buf mask S9=aux mask
+    // S10=escape count
+    b.at(entry)
+        .li(S2, static_cast<int64_t>(data))
+        .li(S3, static_cast<int64_t>(crctab))
+        .li(S4, static_cast<int64_t>(auxtab))
+        .li(S5, 0)
+        .li(S6, iters)
+        .li(S7, ~0ll)
+        .li(S8, buf - 1)
+        .li(S9, aux - 1)
+        .li(S10, 0)
+        .li(S11, 0)
+        .fallthrough(loop);
+
+    b.at(loop)
+        // Slow, rarely-taken branch: check the aux table for an escape.
+        .mul(T0, S5, S5)
+        .addi(T0, T0, 3)
+        .and_(T0, T0, S9)
+        .slli(T0, T0, 3)
+        .add(T0, S4, T0)
+        .ld(T1, T0, 0, R_AUX)        // random 2 MB table: misses
+        // Independent CRC update on the streaming buffer.
+        .and_(T2, S5, S8)
+        .add(T2, S2, T2)
+        .lb(T3, T2, 0, R_DATA)       // streams: prefetch-friendly
+        .xor_(T4, S7, T3)
+        .andi(T4, T4, 255)
+        .slli(T4, T4, 3)
+        .add(T4, S3, T4)
+        .ld(T5, T4, 0, R_TAB)        // crc table: cache resident
+        .srli(T6, S7, 8)
+        .xor_(S7, T6, T5)            // crc = (crc >> 8) ^ tab[...]
+        .bne(T1, ZERO, escape, nextB);
+
+    b.at(escape)
+        .addi(S10, S10, 1)
+        .xori(S11, S11, 0x5a)        // escape statistics (not the crc)
+        .jump(nextB);
+
+    b.at(nextB)
+        .fallthrough(done);
+    emitFiller(b, 10, {A0, A1, A2, A3});
+    b.at(nextB)
+        .addi(S5, S5, 1)
+        .blt(S5, S6, loop, done);
+
+    b.at(done).halt();
+
+    prog.finalize();
+    return prog;
+}
+
+/**
+ * MiBench dijkstra — edge relaxation: load dist[v] for a random
+ * neighbour (misses), compare against the tentative distance, and on
+ * improvement store it back and update the frontier state that the
+ * next iteration reads: everything downstream depends on the branch.
+ */
+Program
+buildDijkstra(const WorkloadParams &p)
+{
+    Rng rng(p.seed ^ 0xd17ull);
+    Program prog("dijkstra");
+
+    const int64_t nodes = 400000; // 8 B dists -> 3.2 MB
+    const int64_t iters = scaled(40000, p.scale);
+
+    uint64_t dist = prog.allocGlobal(static_cast<uint64_t>(nodes) * 8);
+    fillRandom64(prog, rng, dist, nodes, 1 << 20);
+
+    const AliasRegion R_DIST = 1;
+
+    IRBuilder b(prog);
+    int entry = b.newBlock("entry");
+    int loop = b.newBlock("relax");
+    int improve = b.newBlock("improve");
+    int nextB = b.newBlock("next");
+    int done = b.newBlock("done");
+
+    // S2=dist S3=i S4=iters S5=current dist S6=mask S7=frontier hash
+    b.at(entry)
+        .li(S2, static_cast<int64_t>(dist))
+        .li(S3, 0)
+        .li(S4, iters)
+        .li(S5, 1000)
+        .li(S6, nodes - 1)
+        .li(S7, 12345)
+        .fallthrough(loop);
+
+    b.at(loop)
+        .mul(T0, S7, S7)             // neighbour id from frontier state
+        .srli(T0, T0, 11)
+        .xor_(T0, T0, S3)
+        .and_(T0, T0, S6)
+        .slli(T1, T0, 3)
+        .add(T1, S2, T1)
+        .ld(T2, T1, 0, R_DIST)       // dist[v]: misses
+        .addi(T3, S5, 7)             // nd = dist[u] + w
+        .blt(T3, T2, improve, nextB); // ~30%, hard to predict
+
+    b.at(improve)
+        .sd(T3, T1, 0, R_DIST)
+        .mv(S5, T3)                  // new frontier distance
+        .xor_(S7, S7, T3)            // frontier hash: feeds next iter
+        .jump(nextB);
+
+    b.at(nextB)
+        .addi(S7, S7, 13)            // advance frontier state
+        .addi(S3, S3, 1)
+        .blt(S3, S4, loop, done);
+
+    b.at(done).halt();
+
+    prog.finalize();
+    return prog;
+}
+
+/**
+ * MiBench qsort — partitioning: compare the pivot against cache-warm
+ * random keys (hard branch, fast resolve) and swap on one side.
+ */
+Program
+buildQsort(const WorkloadParams &p)
+{
+    Rng rng(p.seed ^ 0x45047ull);
+    Program prog("qsort");
+
+    const int64_t keys = 65536;
+    const int64_t iters = scaled(44000, p.scale);
+
+    uint64_t arr = prog.allocGlobal(static_cast<uint64_t>(keys) * 8);
+    // Partially-sorted input (as after earlier qsort passes): the
+    // pivot compare is ~75% predictable.
+    for (int64_t i = 0; i < keys; ++i)
+        prog.poke64(arr + static_cast<uint64_t>(i) * 8,
+                    static_cast<uint64_t>(i) * 192 + rng.below(1 << 22));
+
+    const AliasRegion R_ARR = 1;
+
+    IRBuilder b(prog);
+    int entry = b.newBlock("entry");
+    int loop = b.newBlock("partition");
+    int less = b.newBlock("less");
+    int nextB = b.newBlock("next");
+    int done = b.newBlock("done");
+
+    // S2=arr S3=i S4=iters S5=pivot S6=store cursor S7=mask
+    b.at(entry)
+        .li(S2, static_cast<int64_t>(arr))
+        .li(S3, 0)
+        .li(S4, iters)
+        .li(S5, 1 << 23)
+        .li(S6, 0)
+        .li(S7, keys - 1)
+        .fallthrough(loop);
+
+    b.at(loop)
+        .and_(T0, S3, S7)
+        .slli(T0, T0, 3)
+        .add(T0, S2, T0)
+        .ld(T1, T0, 0, R_ARR)        // key (cache warm)
+        .blt(T1, S5, less, nextB);   // ~50/50: mispredicts
+
+    b.at(less)
+        .and_(T2, S6, S7)            // swap into the low side
+        .slli(T2, T2, 3)
+        .add(T2, S2, T2)
+        .ld(T3, T2, 0, R_ARR)
+        .sd(T1, T2, 0, R_ARR)
+        .sd(T3, T0, 0, R_ARR)
+        .addi(S6, S6, 1)
+        .jump(nextB);
+
+    b.at(nextB)
+        .fallthrough(done);
+    emitFiller(b, 14, {A0, A1, A2, A4, A5});
+    b.at(nextB)
+        .addi(S3, S3, 1)
+        .blt(S3, S4, loop, done);
+
+    b.at(done).halt();
+
+    prog.finalize();
+    return prog;
+}
+
+/**
+ * MiBench sha — rotate/xor rounds with a long serial dependency chain
+ * and perfectly predictable loop control: nothing for OoO commit to
+ * reclaim, the baseline already streams.
+ */
+Program
+buildSha(const WorkloadParams &p)
+{
+    Rng rng(p.seed ^ 0x54a15ull);
+    Program prog("sha");
+
+    const int64_t msg = 65536;
+    const int64_t iters = scaled(50000, p.scale);
+
+    uint64_t data = prog.allocGlobal(static_cast<uint64_t>(msg) * 4);
+    fillRandom32(prog, rng, data, msg, 1ull << 32);
+
+    const AliasRegion R_MSG = 1;
+
+    IRBuilder b(prog);
+    int entry = b.newBlock("entry");
+    int loop = b.newBlock("round");
+    int done = b.newBlock("done");
+
+    // S2=data S3=i S4=iters S5..S9 = a..e working state S10=mask
+    b.at(entry)
+        .li(S2, static_cast<int64_t>(data))
+        .li(S3, 0)
+        .li(S4, iters)
+        .li(S5, 0x67452301)
+        .li(S6, 0xefcdab89)
+        .li(S7, 0x98badcfe)
+        .li(S8, 0x10325476)
+        .li(S9, 0xc3d2e1f0)
+        .li(S10, msg - 1)
+        .fallthrough(loop);
+
+    b.at(loop)
+        .and_(T0, S3, S10)
+        .slli(T0, T0, 2)
+        .add(T0, S2, T0)
+        .lw(T1, T0, 0, R_MSG)        // message word (streams)
+        .slli(T2, S5, 5)             // rol(a, 5)
+        .srli(T3, S5, 27)
+        .or_(T2, T2, T3)
+        .xor_(T4, S6, S7)            // parity(b, c, d)
+        .xor_(T4, T4, S8)
+        .add(T5, T2, T4)
+        .add(T5, T5, S9)
+        .add(T5, T5, T1)
+        .mv(S9, S8)                  // rotate the state
+        .mv(S8, S7)
+        .slli(T6, S6, 30)
+        .srli(T3, S6, 2)
+        .or_(S7, T6, T3)
+        .mv(S6, S5)
+        .mv(S5, T5)
+        .addi(S3, S3, 1)
+        .blt(S3, S4, loop, done);
+
+    b.at(done).halt();
+
+    prog.finalize();
+    return prog;
+}
+
+/**
+ * MiBench stringsearch — Boyer-Moore-Horspool flavour: compare a text
+ * byte against the pattern end, on mismatch jump ahead by the skip
+ * table amount (dependent), on match run a short verify loop.
+ */
+Program
+buildStringsearch(const WorkloadParams &p)
+{
+    Rng rng(p.seed ^ 0x575ull);
+    Program prog("stringsearch");
+
+    const int64_t text = 1 << 20;
+    const int64_t iters = scaled(42000, p.scale);
+
+    uint64_t data = prog.allocGlobal(static_cast<uint64_t>(text));
+    for (int64_t i = 0; i < text; ++i) {
+        uint8_t v = static_cast<uint8_t>('a' + rng.below(16));
+        prog.pokeBytes(data + static_cast<uint64_t>(i), &v, 1);
+    }
+    uint64_t skip = prog.allocGlobal(256 * 8);
+    for (int64_t i = 0; i < 256; ++i)
+        prog.poke64(skip + static_cast<uint64_t>(i) * 8,
+                    1 + rng.below(7));
+
+    const AliasRegion R_TEXT = 1, R_SKIP = 2;
+
+    IRBuilder b(prog);
+    int entry = b.newBlock("entry");
+    int loop = b.newBlock("probe");
+    int match = b.newBlock("match");
+    int nextB = b.newBlock("next");
+    int done = b.newBlock("done");
+
+    // S2=text S3=pos S4=iters S5=i S6=matches S7=mask S8=skip base
+    b.at(entry)
+        .li(S2, static_cast<int64_t>(data))
+        .li(S3, 0)
+        .li(S4, iters)
+        .li(S5, 0)
+        .li(S6, 0)
+        .li(S7, text - 1)
+        .li(S8, static_cast<int64_t>(skip))
+        .fallthrough(loop);
+
+    b.at(loop)
+        .slli(T0, S5, 2)             // probe every 4th byte: induction
+        .and_(T0, T0, S7)
+        .add(T0, S2, T0)
+        .lb(T1, T0, 0, R_TEXT)       // text byte (streams)
+        .andi(T1, T1, 255)
+        .slli(T2, T1, 3)
+        .add(T2, S8, T2)
+        .ld(T3, T2, 0, R_SKIP)       // skip amount
+        .addi(T4, ZERO, 'a' + 7)
+        .beq(T1, T4, match, nextB);  // ~6% match rate
+
+    b.at(match)
+        .addi(S6, S6, 1)
+        .lb(T5, T0, 1, R_TEXT)       // verify next byte
+        .andi(T5, T5, 255)
+        .add(S6, S6, T5)
+        .jump(nextB);
+
+    b.at(nextB)
+        .add(S3, S3, T3)             // shift statistics (dependent)
+        .fallthrough(done);
+    emitFiller(b, 8, {A0, A1, A2, A3});
+    b.at(nextB)
+        .addi(S5, S5, 1)
+        .blt(S5, S4, loop, done);
+
+    b.at(done).halt();
+
+    prog.finalize();
+    return prog;
+}
+
+/**
+ * MiBench bitcount — bit tricks over a random word stream: the popcount
+ * arithmetic is branch-free and independent; one rare branch tallies
+ * all-ones words from a large (missing) table.
+ */
+Program
+buildBitcount(const WorkloadParams &p)
+{
+    Rng rng(p.seed ^ 0xb17c0ull);
+    Program prog("bitcount");
+
+    const int64_t words = 500000; // 4 MB
+    const int64_t iters = scaled(42000, p.scale);
+
+    uint64_t data = prog.allocGlobal(static_cast<uint64_t>(words) * 8);
+    for (int64_t i = 0; i < words; ++i)
+        prog.poke64(data + static_cast<uint64_t>(i) * 8,
+                    rng.chance(0.06) ? ~0ull : rng.next());
+
+    const AliasRegion R_DATA = 1;
+
+    IRBuilder b(prog);
+    int entry = b.newBlock("entry");
+    int loop = b.newBlock("word");
+    int allones = b.newBlock("all_ones");
+    int nextB = b.newBlock("next");
+    int done = b.newBlock("done");
+
+    // S2=data S3=i S4=iters S5=total S6=ones count S7=mask S8=0x5555..
+    b.at(entry)
+        .li(S2, static_cast<int64_t>(data))
+        .li(S3, 0)
+        .li(S4, iters)
+        .li(S5, 0)
+        .li(S6, 0)
+        .li(S7, words - 1)
+        .li(S8, 0x5555555555555555ll)
+        .li(S9, 0x3333333333333333ll)
+        .li(S10, -1)
+        .fallthrough(loop);
+
+    b.at(loop)
+        .mul(T0, S3, S3)
+        .addi(T0, T0, 9)
+        .and_(T0, T0, S7)
+        .slli(T0, T0, 3)
+        .add(T0, S2, T0)
+        .ld(T1, T0, 0, R_DATA)       // random word: misses
+        // Branch-free popcount steps: independent of the branch below
+        // in the *next* iterations.
+        .srli(T2, T1, 1)
+        .and_(T2, T2, S8)
+        .sub(T3, T1, T2)
+        .srli(T4, T3, 2)
+        .and_(T4, T4, S9)
+        .and_(T3, T3, S9)
+        .add(T3, T3, T4)
+        .add(S5, S5, T3)
+        .beq(T1, S10, allones, nextB); // rare, slow to resolve
+
+    b.at(allones)
+        .addi(S6, S6, 1)
+        .jump(nextB);
+
+    b.at(nextB)
+        .fallthrough(done);
+    emitFiller(b, 8, {A0, A1, A2, A3});
+    b.at(nextB)
+        .addi(S3, S3, 1)
+        .blt(S3, S4, loop, done);
+
+    b.at(done).halt();
+
+    prog.finalize();
+    return prog;
+}
+
+} // namespace noreba

@@ -1,0 +1,93 @@
+#include "workloads/workloads.h"
+
+#include "common/logging.h"
+
+namespace noreba {
+
+const std::vector<WorkloadDesc> &
+workloadRegistry()
+{
+    static const std::vector<WorkloadDesc> registry = {
+        {"astar", "spec",
+         "two independent loops + null-check branch on missing loads",
+         buildAstar},
+        {"bzip2", "spec",
+         "branchy, large dependent regions, loop-carried state",
+         buildBzip2},
+        {"gcc", "spec",
+         "pointer-heavy with jump tables and short dependent bodies",
+         buildGcc},
+        {"gobmk", "spec",
+         "board scans: predictable branches, medium dependent regions",
+         buildGobmk},
+        {"h264ref", "spec",
+         "SAD loops with clamping branches, much independent arithmetic",
+         buildH264ref},
+        {"hmmer", "spec",
+         "DP inner loop with max() selects feeding the running state",
+         buildHmmer},
+        {"lbm", "spec",
+         "streaming FP stencil, few branches, long FP chains",
+         buildLbm},
+        {"libquantum", "spec",
+         "large streaming array with a predictable mask branch",
+         buildLibquantum},
+        {"mcf", "spec",
+         "pointer-chase loads feed branches with tiny dependent bodies",
+         buildMcf},
+        {"milc", "spec",
+         "FP matrix kernels with occasional data-dependent branches",
+         buildMilc},
+        {"omnetpp", "spec",
+         "event-heap walk: chasing loads and compare branches",
+         buildOmnetpp},
+        {"sjeng", "spec",
+         "branchy search with alternating predictable/unpredictable tests",
+         buildSjeng},
+        {"soplex", "spec",
+         "sparse FP with indirection and pricing-threshold branches",
+         buildSoplex},
+        {"xalancbmk", "spec",
+         "dispatch-table traversal with dependent handler bodies",
+         buildXalancbmk},
+        {"CRC32", "mibench",
+         "table-lookup stream; rare data branch, mostly independent work",
+         buildCrc32},
+        {"dijkstra", "mibench",
+         "relaxation branch on which everything downstream depends",
+         buildDijkstra},
+        {"qsort", "mibench",
+         "partition compares: hard branches with dependent swaps",
+         buildQsort},
+        {"sha", "mibench",
+         "long dependency chains, almost no commit-blocking branches",
+         buildSha},
+        {"stringsearch", "mibench",
+         "skip-table matching: mispredicting branches, small bodies",
+         buildStringsearch},
+        {"bitcount", "mibench",
+         "bit tricks: independent work beyond a sparse data branch",
+         buildBitcount},
+    };
+    return registry;
+}
+
+Program
+buildWorkload(const std::string &name, const WorkloadParams &params)
+{
+    for (const auto &desc : workloadRegistry())
+        if (desc.name == name)
+            return desc.build(params);
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto &desc : workloadRegistry())
+        names.push_back(desc.name);
+    return names;
+}
+
+} // namespace noreba

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Floating-point SPEC-like workloads: lbm, milc, soplex. These stress
+ * the FP pipelines and the memory system more than the branch
+ * machinery; OoO-commit gains are moderate and come from long FP
+ * latencies holding the ROB head.
+ */
+
+#include "workloads/util.h"
+
+namespace noreba {
+
+/**
+ * SPEC 470.lbm — streaming stencil: for each cell combine three
+ * neighbouring distributions with FMAs and write back; one rare
+ * branch handles "obstacle" cells.
+ */
+Program
+buildLbm(const WorkloadParams &p)
+{
+    Rng rng(p.seed ^ 0x1b3full);
+    Program prog("lbm");
+
+    const int64_t cells = 400000; // 8 B doubles -> 3.2 MB per grid
+    const int64_t iters = scaled(40000, p.scale);
+
+    uint64_t src = prog.allocGlobal(static_cast<uint64_t>(cells) * 8);
+    fillRandomF64(prog, rng, src, cells, 0.0, 1.0);
+    uint64_t dst = prog.allocGlobal(static_cast<uint64_t>(cells) * 8);
+    uint64_t obst = prog.allocGlobal(static_cast<uint64_t>(cells));
+    for (int64_t i = 0; i < cells; ++i) {
+        uint8_t v = rng.chance(0.04) ? 1 : 0;
+        prog.pokeBytes(obst + static_cast<uint64_t>(i), &v, 1);
+    }
+
+    const AliasRegion R_SRC = 1, R_DST = 2, R_OBST = 3;
+
+    IRBuilder b(prog);
+    int entry = b.newBlock("entry");
+    int loop = b.newBlock("cell");
+    int bounce = b.newBlock("bounce");
+    int streamB = b.newBlock("stream");
+    int nextB = b.newBlock("next");
+    int done = b.newBlock("done");
+
+    // S2=src S3=dst S4=obst S5=i S6=iters S7=mask; F0=omega F1..F4 tmp
+    b.at(entry)
+        .li(S2, static_cast<int64_t>(src))
+        .li(S3, static_cast<int64_t>(dst))
+        .li(S4, static_cast<int64_t>(obst))
+        .li(S5, 0)
+        .li(S6, iters)
+        .li(S7, cells - 8)
+        .li(A6, 1)
+        .li(A7, 2)
+        .li(T0, 2)
+        .fcvtDL(F0, T0)              // omega-ish constant
+        .fallthrough(loop);
+
+    b.at(loop)
+        .and_(T0, S5, S7)
+        .add(T1, S4, T0)
+        .lb(T2, T1, 0, R_OBST)       // obstacle flag (streams)
+        .slli(T3, T0, 3)
+        .add(T4, S2, T3)
+        .fld(F1, T4, 0, R_SRC)
+        .fld(F2, T4, 8, R_SRC)
+        .fld(F3, T4, 16, R_SRC)
+        .bne(T2, ZERO, bounce, streamB);
+
+    b.at(bounce)                      // bounce-back: swap distributions
+        .fmv(F4, F1)
+        .fmv(F1, F3)
+        .fmv(F3, F4)
+        .jump(streamB);
+
+    b.at(streamB)
+        .fmadd(F4, F1, F0, F2)       // collide
+        .fadd(F4, F4, F3)
+        .fmul(F4, F4, F0)
+        .and_(T0, S5, S7)
+        .slli(T3, T0, 3)
+        .add(T5, S3, T3)
+        .fsd(F4, T5, 0, R_DST)
+        .fallthrough(nextB);
+
+    b.at(nextB)
+        .fallthrough(done);
+    emitFiller(b, 16, {A0, A1, A2, A3, A6, A7});
+    b.at(nextB)
+        .addi(S5, S5, 1)
+        .blt(S5, S6, loop, done);
+
+    b.at(done).halt();
+
+    prog.finalize();
+    return prog;
+}
+
+/**
+ * SPEC 433.milc — su3-flavoured kernel: short FMA chains per site with
+ * an occasional reunitarization branch triggered by the accumulated
+ * norm (depends on a divide: slow to resolve, rare).
+ */
+Program
+buildMilc(const WorkloadParams &p)
+{
+    Rng rng(p.seed ^ 0x3117cull);
+    Program prog("milc");
+
+    const int64_t sites = 250000;
+    const int64_t iters = scaled(30000, p.scale);
+
+    uint64_t lat = prog.allocGlobal(static_cast<uint64_t>(sites) * 16);
+    fillRandomF64(prog, rng, lat, sites * 2, 0.5, 1.5);
+
+    const AliasRegion R_LAT = 1;
+
+    IRBuilder b(prog);
+    int entry = b.newBlock("entry");
+    int loop = b.newBlock("site");
+    int renorm = b.newBlock("renorm");
+    int nextB = b.newBlock("next");
+    int done = b.newBlock("done");
+
+    // S2=lat S3=i S4=iters S5=mask; F0=acc F1/F2 links F5=threshold
+    b.at(entry)
+        .li(S2, static_cast<int64_t>(lat))
+        .li(S3, 0)
+        .li(S4, iters)
+        .li(S5, sites - 1)
+        .li(T0, 0)
+        .fcvtDL(F0, T0)
+        .li(T0, 3)
+        .fcvtDL(F5, T0)
+        .fallthrough(loop);
+
+    b.at(loop)
+        .mul(T0, S3, S3)
+        .addi(T0, T0, 5)
+        .and_(T0, T0, S5)
+        .slli(T0, T0, 4)
+        .add(T1, S2, T0)
+        .fld(F1, T1, 0, R_LAT)       // link re/im (misses sometimes)
+        .fld(F2, T1, 8, R_LAT)
+        .fmadd(F3, F1, F2, F0)       // accumulate plaquette
+        .fmul(F4, F1, F1)
+        .fmadd(F4, F2, F2, F4)       // norm
+        .fmv(F0, F3)
+        .flt(T2, F5, F4)             // norm > 3? (rare)
+        .bne(T2, ZERO, renorm, nextB);
+
+    b.at(renorm)
+        .fsqrt(F6, F4)
+        .fdiv(F1, F1, F6)
+        .fdiv(F2, F2, F6)
+        .fsd(F1, T1, 0, R_LAT)
+        .fsd(F2, T1, 8, R_LAT)
+        .jump(nextB);
+
+    b.at(nextB)
+        .fallthrough(done);
+    emitFiller(b, 10, {A0, A1, A2, A3});
+    b.at(nextB)
+        .addi(S3, S3, 1)
+        .blt(S3, S4, loop, done);
+
+    b.at(done).halt();
+
+    prog.finalize();
+    return prog;
+}
+
+/**
+ * SPEC 450.soplex — sparse pricing: walk a compressed column (index
+ * load then value load: double indirection that misses), test the
+ * reduced cost against a threshold (rare, slow branch), keep a
+ * running best independently.
+ */
+Program
+buildSoplex(const WorkloadParams &p)
+{
+    Rng rng(p.seed ^ 0x50b1e8ull);
+    Program prog("soplex");
+
+    const int64_t nnz = 300000;
+    const int64_t vecLen = 524288; // 4 MB of doubles
+    const int64_t iters = scaled(34000, p.scale);
+
+    uint64_t idx = prog.allocGlobal(static_cast<uint64_t>(nnz) * 8);
+    fillRandom64(prog, rng, idx, nnz, static_cast<uint64_t>(vecLen));
+    uint64_t val = prog.allocGlobal(static_cast<uint64_t>(nnz) * 8);
+    fillRandomF64(prog, rng, val, nnz, -1.0, 1.0);
+    uint64_t vec = prog.allocGlobal(static_cast<uint64_t>(vecLen) * 8);
+    fillRandomF64(prog, rng, vec, vecLen, 0.0, 2.0);
+
+    const AliasRegion R_IDX = 1, R_VAL = 2, R_VEC = 3;
+
+    IRBuilder b(prog);
+    int entry = b.newBlock("entry");
+    int loop = b.newBlock("price");
+    int enter = b.newBlock("entering");
+    int nextB = b.newBlock("next");
+    int done = b.newBlock("done");
+
+    // S2=idx S3=val S4=vec S5=i S6=iters S7=mask S8=candidates
+    // F0=threshold F1..F4 temps
+    b.at(entry)
+        .li(S2, static_cast<int64_t>(idx))
+        .li(S3, static_cast<int64_t>(val))
+        .li(S4, static_cast<int64_t>(vec))
+        .li(S5, 0)
+        .li(S6, iters)
+        .li(S7, nnz - 1)
+        .li(S8, 0)
+        .li(A6, 1)
+        .li(A7, 2)
+        .li(T0, -1)
+        .fcvtDL(F0, T0)              // fixed pricing tolerance
+        .fcvtDL(F6, T0)
+        .fallthrough(loop);
+
+    b.at(loop)
+        .and_(T0, S5, S7)
+        .slli(T1, T0, 3)
+        .add(T2, S2, T1)
+        .ld(T3, T2, 0, R_IDX)        // column index (streams)
+        .add(T4, S3, T1)
+        .fld(F1, T4, 0, R_VAL)       // coefficient
+        .slli(T3, T3, 3)
+        .add(T3, S4, T3)
+        .fld(F2, T3, 0, R_VEC)       // x[idx]: random, misses
+        .fmul(F3, F1, F2)            // reduced cost contribution
+        .flt(T5, F3, F0)             // < -1.0? (rare, slow)
+        .addi(S5, S5, 1)             // independent stream position
+        .bne(T5, ZERO, enter, nextB);
+
+    b.at(enter)
+        .addi(S8, S8, 1)
+        .fmin(F6, F6, F3)            // track the best candidate only
+        .jump(nextB);
+
+    b.at(nextB)
+        .fallthrough(done);
+    emitFiller(b, 12, {A0, A1, A2, A3, A6, A7});
+    b.at(nextB)
+        .blt(S5, S6, loop, done);
+
+    b.at(done).halt();
+
+    prog.finalize();
+    return prog;
+}
+
+} // namespace noreba

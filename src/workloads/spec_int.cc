@@ -1,0 +1,548 @@
+/**
+ * @file
+ * Integer SPEC-like workloads: bzip2, gobmk, sjeng, hmmer, h264ref,
+ * libquantum. bzip2 is the paper's worst case: its stalling branches
+ * have many dependent instructions (the whole compressor state), so
+ * almost nothing can commit early.
+ */
+
+#include "workloads/util.h"
+
+namespace noreba {
+
+/**
+ * SPEC 401.bzip2 — MTF/huffman flavour: every loaded byte updates a
+ * running model that feeds the next iteration's branch, so the
+ * dependent region effectively covers the rest of the loop.
+ */
+Program
+buildBzip2(const WorkloadParams &p)
+{
+    Rng rng(p.seed ^ 0xb21bull);
+    Program prog("bzip2");
+
+    const int64_t buf = 65536;
+    const int64_t iters = scaled(42000, p.scale);
+
+    uint64_t data = prog.allocGlobal(static_cast<uint64_t>(buf));
+    for (int64_t i = 0; i < buf; ++i) {
+        uint8_t v = static_cast<uint8_t>(rng.below(256));
+        prog.pokeBytes(data + static_cast<uint64_t>(i), &v, 1);
+    }
+    uint64_t freq = prog.allocGlobal(256 * 8);
+
+    const AliasRegion R_DATA = 1, R_FREQ = 2;
+
+    IRBuilder b(prog);
+    int entry = b.newBlock("entry");
+    int loop = b.newBlock("loop");
+    int lit = b.newBlock("literal");
+    int run = b.newBlock("run");
+    int nextB = b.newBlock("next");
+    int done = b.newBlock("done");
+
+    // S2=data S3=i S4=iters S5=model state S6=run length S7=freq base
+    // S8=buffer mask
+    b.at(entry)
+        .li(S2, static_cast<int64_t>(data))
+        .li(S3, 0)
+        .li(S4, iters)
+        .li(S5, 0x55)
+        .li(S6, 0)
+        .li(S7, static_cast<int64_t>(freq))
+        .li(S8, buf - 1)
+        .fallthrough(loop);
+
+    // state-dependent branch: compare byte against the running model.
+    b.at(loop)
+        .and_(T0, S3, S8)
+        .add(T0, S2, T0)
+        .lb(T1, T0, 0, R_DATA)        // fast load (cache resident)
+        .andi(T1, T1, 255)
+        .andi(T2, S5, 31)
+        .addi(T2, T2, 48)             // slowly-varying threshold
+        .blt(T1, T2, lit, run);       // data-dependent, ~25% taken
+
+    // Both arms update the model, so the next iteration's branch (and
+    // everything after it) is data dependent on this one.
+    b.at(lit)
+        .slli(T3, T1, 3)
+        .add(T3, S7, T3)
+        .ld(T4, T3, 0, R_FREQ)        // freq[byte]++
+        .addi(T4, T4, 1)
+        .sd(T4, T3, 0, R_FREQ)
+        .add(S5, S5, T1)              // model <- model + byte
+        .srli(T5, S5, 1)
+        .xor_(S5, S5, T5)
+        .jump(nextB);
+
+    b.at(run)
+        .addi(S6, S6, 1)
+        .sub(S5, S5, T1)              // model <- model - byte
+        .slli(T5, S5, 2)
+        .xor_(S5, S5, T5)
+        .andi(S5, S5, 0xffff)
+        .jump(nextB);
+
+    b.at(nextB)
+        .fallthrough(done);
+    emitFiller(b, 8, {A0, A1, A2, A3});
+    b.at(nextB)
+        .addi(S3, S3, 1)
+        .blt(S3, S4, loop, done);
+
+    b.at(done).halt();
+
+    prog.finalize();
+    return prog;
+}
+
+/**
+ * SPEC 445.gobmk — board scan: read 19x19-ish board cells in order
+ * (cache friendly), branch on stone colour (predictable-ish), and
+ * update liberty counters; a rescan makes the footprint loop.
+ */
+Program
+buildGobmk(const WorkloadParams &p)
+{
+    Rng rng(p.seed ^ 0x60b3cull);
+    Program prog("gobmk");
+
+    const int64_t board = 8192;   // 32 KB: L1-resident
+    const int64_t iters = scaled(48000, p.scale);
+
+    const int64_t infl = 8192;  // 64 KB influence map (L2-resident)
+    uint64_t cells = prog.allocGlobal(static_cast<uint64_t>(board) * 4);
+    uint64_t inflMap = prog.allocGlobal(static_cast<uint64_t>(infl) * 8);
+    for (int64_t i = 0; i < board; ++i) {
+        // 0 empty (55%), 1 black (25%), 2 white (20%)
+        double u = rng.uniform();
+        uint32_t v = u < 0.55 ? 0 : (u < 0.80 ? 1 : 2);
+        prog.poke32(cells + static_cast<uint64_t>(i) * 4, v);
+    }
+
+    const AliasRegion R_BOARD = 1, R_INFL = 2;
+
+    IRBuilder b(prog);
+    int entry = b.newBlock("entry");
+    int loop = b.newBlock("scan");
+    int stone = b.newBlock("stone");
+    int empty = b.newBlock("empty");
+    int nextB = b.newBlock("next");
+    int done = b.newBlock("done");
+
+    // S2=cells S3=i S4=iters S5=liberties S6=stones S7=influence S8=mask
+    b.at(entry)
+        .li(S2, static_cast<int64_t>(cells))
+        .li(S3, 0)
+        .li(S4, iters)
+        .li(S5, 0)
+        .li(S6, 0)
+        .li(S7, 0)
+        .li(S8, board - 1)
+        .li(S9, static_cast<int64_t>(inflMap))
+        .li(S10, infl - 1)
+        .li(S11, 0x9e3779b9)
+        .fallthrough(loop);
+
+    b.at(loop)
+        .and_(T0, S3, S8)
+        .slli(T0, T0, 2)
+        .add(T0, S2, T0)
+        .lw(T1, T0, 0, R_BOARD)
+        .mul(T2, S3, S11)            // neighbourhood probe: hashed
+        .srli(T2, T2, 12)            // revisit of warm board state
+        .and_(T2, T2, S8)
+        .andi(T4, S3, 7)
+        .slt(T4, ZERO, T4)
+        .xori(T4, T4, 1)
+        .mul(T2, T2, T4)             // probe index 0 on hot cells
+        .slli(T2, T2, 2)
+        .add(T2, S2, T2)
+        .lw(T3, T2, 0, R_BOARD)
+        .add(S7, S7, T3)
+        .bne(T1, ZERO, stone, empty);
+
+    b.at(stone)
+        .add(S6, S6, T1)              // count stones by colour
+        .slli(T3, T1, 4)
+        .add(S5, S5, T3)
+        .jump(nextB);
+
+    b.at(empty)
+        .addi(S5, S5, 1)              // liberty
+        .jump(nextB);
+
+    b.at(nextB)
+        .fallthrough(done);
+    emitFiller(b, 10, {A0, A1, A2, A3, A6, A7});
+    b.at(nextB)
+        .addi(S3, S3, 1)
+        .blt(S3, S4, loop, done);
+
+    b.at(done).halt();
+
+    prog.finalize();
+    return prog;
+}
+
+/**
+ * SPEC 458.sjeng — game-tree flavour: alternates a predictable depth
+ * test with a hashed transposition-table probe whose hit test misses
+ * the caches and mispredicts; the evaluation work between probes is
+ * independent.
+ */
+Program
+buildSjeng(const WorkloadParams &p)
+{
+    Rng rng(p.seed ^ 0x57e46ull);
+    Program prog("sjeng");
+
+    const int64_t ttab = 262144; // 8 B -> 2 MB
+    const int64_t iters = scaled(38000, p.scale);
+
+    uint64_t tt = prog.allocGlobal(static_cast<uint64_t>(ttab) * 8);
+    fillRandom64(prog, rng, tt, ttab, 8);
+
+    const AliasRegion R_TT = 1;
+
+    IRBuilder b(prog);
+    int entry = b.newBlock("entry");
+    int loop = b.newBlock("node");
+    int hit = b.newBlock("tt_hit");
+    int miss = b.newBlock("tt_miss");
+    int evalB = b.newBlock("eval");
+    int done = b.newBlock("done");
+
+    // S2=tt S3=i S4=iters S5=alpha S6=beta S7=nodes S8=mask S9=hash
+    b.at(entry)
+        .li(S2, static_cast<int64_t>(tt))
+        .li(S3, 0)
+        .li(S4, iters)
+        .li(S5, -1000)
+        .li(S6, 1000)
+        .li(S7, 0)
+        .li(S8, ttab - 1)
+        .li(S9, 0x2545f491)
+        .li(A6, 1)
+        .li(A7, 2)
+        .fallthrough(loop);
+
+    b.at(loop)
+        .mul(T0, S3, S9)              // zobrist-ish probe index
+        .srli(T0, T0, 13)
+        .andi(T3, T0, 3)
+        .slt(T3, ZERO, T3)            // 1-in-3-ish: cold probe
+        .xori(T4, T3, 1)
+        .and_(T5, T0, S8)             // cold index (2 MB reach)
+        .andi(T6, T0, 2047)           // hot index (16 KB reach)
+        .mul(T5, T5, T4)
+        .mul(T6, T6, T3)
+        .add(T0, T5, T6)
+        .slli(T0, T0, 3)
+        .add(T0, S2, T0)
+        .ld(T1, T0, 0, R_TT)          // TT entry flag
+        .andi(T1, T1, 7)
+        .beq(T1, ZERO, miss, hit);    // ~12% miss, data dependent
+
+    b.at(hit)
+        .add(S5, S5, T1)              // bound tightening (dependent)
+        .slti(T2, S5, 900)
+        .add(S7, S7, T2)
+        .jump(evalB);
+
+    b.at(miss)
+        .addi(S6, S6, -1)
+        .jump(evalB);
+
+    // Static evaluation: independent of the probe outcome.
+    b.at(evalB)
+        .addi(S7, S7, 1)
+        .slli(T3, S7, 1)
+        .xor_(T3, T3, S3)
+        .andi(T3, T3, 0xfff)
+        .fallthrough(done);
+    emitFiller(b, 14, {A0, A1, A2, A3, A6, A7});
+    b.at(evalB)
+        .addi(S3, S3, 1)
+        .blt(S3, S4, loop, done);
+
+    b.at(done).halt();
+
+    prog.finalize();
+    return prog;
+}
+
+/**
+ * SPEC 456.hmmer — Viterbi-ish DP inner loop: three candidate scores
+ * per cell, selected with compare branches whose outcome feeds the row
+ * state. Loads stream (prefetchable) so the branches resolve quickly.
+ */
+Program
+buildHmmer(const WorkloadParams &p)
+{
+    Rng rng(p.seed ^ 0x477e2ull);
+    Program prog("hmmer");
+
+    const int64_t row = 131072;
+    const int64_t iters = scaled(40000, p.scale);
+
+    uint64_t mrow = prog.allocGlobal(static_cast<uint64_t>(row) * 8);
+    fillRandom64(prog, rng, mrow, row, 1 << 12);
+    uint64_t irow = prog.allocGlobal(static_cast<uint64_t>(row) * 8);
+    fillRandom64(prog, rng, irow, row, 1 << 12);
+
+    const AliasRegion R_M = 1, R_I = 2;
+
+    IRBuilder b(prog);
+    int entry = b.newBlock("entry");
+    int loop = b.newBlock("cell");
+    int takeM = b.newBlock("take_m");
+    int takeI = b.newBlock("take_i");
+    int store = b.newBlock("store");
+    int done = b.newBlock("done");
+
+    // S2=mrow S3=irow S4=i S5=iters S6=best (running) S7=mask
+    b.at(entry)
+        .li(S2, static_cast<int64_t>(mrow))
+        .li(S3, static_cast<int64_t>(irow))
+        .li(S4, 0)
+        .li(S5, iters)
+        .li(S6, 0)
+        .li(S7, row - 1)
+        .li(A6, 1)
+        .li(A7, 2)
+        .fallthrough(loop);
+
+    b.at(loop)
+        .and_(T0, S4, S7)
+        .slli(T0, T0, 3)
+        .add(T1, S2, T0)
+        .ld(T2, T1, 0, R_M)          // match score (streams)
+        .add(T3, S3, T0)
+        .ld(T4, T3, 0, R_I)          // insert score
+        .add(T2, T2, S6)             // chain through the row state
+        .blt(T2, T4, takeI, takeM);  // select max, ~50/50
+
+    b.at(takeM).mv(T5, T2).jump(store);
+    b.at(takeI).mv(T5, T4).jump(store);
+
+    b.at(store)
+        .srli(T6, T5, 2)             // renormalize
+        .sub(S6, T5, T6)
+        .and_(T0, S4, S7)
+        .slli(T0, T0, 3)
+        .add(T1, S2, T0)
+        .sd(S6, T1, 0, R_M)          // write the cell back
+        .fallthrough(done);
+    emitFiller(b, 14, {A0, A1, A2, A3, A6, A7});
+    b.at(store)
+        .addi(S4, S4, 1)
+        .blt(S4, S5, loop, done);
+
+    b.at(done).halt();
+
+    prog.finalize();
+    return prog;
+}
+
+/**
+ * SPEC 464.h264ref — SAD kernel: per-pixel absolute differences with a
+ * compare branch (fast to resolve), plus a block-level threshold branch
+ * that depends on the accumulated sum.
+ */
+Program
+buildH264ref(const WorkloadParams &p)
+{
+    Rng rng(p.seed ^ 0x264ull);
+    Program prog("h264ref");
+
+    const int64_t frame = 262144;
+    const int64_t blocks = scaled(3000, p.scale);
+    const int64_t pixPerBlock = 16;
+
+    uint64_t cur = prog.allocGlobal(static_cast<uint64_t>(frame));
+    uint64_t ref = prog.allocGlobal(static_cast<uint64_t>(frame));
+    for (int64_t i = 0; i < frame; ++i) {
+        uint8_t a = static_cast<uint8_t>(rng.below(256));
+        uint8_t c = static_cast<uint8_t>(
+            (a + rng.range(-1, 14)) & 0xff);
+        prog.pokeBytes(cur + static_cast<uint64_t>(i), &a, 1);
+        prog.pokeBytes(ref + static_cast<uint64_t>(i), &c, 1);
+    }
+
+    const AliasRegion R_CUR = 1, R_REF = 2;
+
+    IRBuilder b(prog);
+    int entry = b.newBlock("entry");
+    int blockB = b.newBlock("block");
+    int pix = b.newBlock("pixel");
+    int neg = b.newBlock("neg");
+    int acc = b.newBlock("acc");
+    int blockEnd = b.newBlock("block_end");
+    int goodB = b.newBlock("good");
+    int updMin = b.newBlock("upd_min");
+    int badB = b.newBlock("bad");
+    int nextBlock = b.newBlock("next_block");
+    int done = b.newBlock("done");
+
+    // S2=cur S3=ref S4=block S5=blocks S6=pixel S7=sad S8=best
+    // S9=frame mask S10=candidates
+    b.at(entry)
+        .li(S2, static_cast<int64_t>(cur))
+        .li(S3, static_cast<int64_t>(ref))
+        .li(S4, 0)
+        .li(S5, blocks)
+        .li(S8, 1 << 20)
+        .li(S9, frame - 1)
+        .li(S10, 0)
+        .fallthrough(blockB);
+
+    b.at(blockB)
+        .li(S6, 0)
+        .li(S7, 0)
+        .fallthrough(pix);
+
+    b.at(pix)
+        .slli(T0, S4, 4)
+        .add(T0, T0, S6)
+        .and_(T0, T0, S9)
+        .add(T1, S2, T0)
+        .lb(T2, T1, 0, R_CUR)
+        .add(T3, S3, T0)
+        .lb(T4, T3, 0, R_REF)
+        .sub(T5, T2, T4)
+        .blt(T5, ZERO, neg, acc);   // abs(): fast but ~50/50
+
+    b.at(neg).sub(T5, ZERO, T5).jump(acc);
+
+    b.at(acc)
+        .add(S7, S7, T5)
+        .fallthrough(done);
+    emitFiller(b, 10, {A0, A1, A2, A3});
+    b.at(acc)
+        .addi(S6, S6, 1)
+        .slti(T6, S6, pixPerBlock)
+        .bne(T6, ZERO, pix, blockEnd);
+
+    b.at(blockEnd)
+        .slti(T6, S7, 40)            // block accepted? (rarely)
+        .bne(T6, ZERO, goodB, badB);
+
+    b.at(goodB)
+        .blt(S7, S8, updMin, nextBlock); // min-SAD tracking
+    b.at(updMin)
+        .mv(S8, S7)
+        .jump(nextBlock);
+    b.at(badB)
+        .addi(S10, S10, 1)
+        .jump(nextBlock);
+
+    b.at(nextBlock)
+        .addi(S4, S4, 1)
+        .blt(S4, S5, blockB, done);
+
+    b.at(done).halt();
+
+    prog.finalize();
+    return prog;
+}
+
+/**
+ * SPEC 462.libquantum — gate application: stream a multi-megabyte state
+ * vector, test a target bit in each amplitude tag, and toggle it. The
+ * loads stream perfectly (DCPT territory) and the branch is
+ * data-dependent but fast once prefetched.
+ */
+Program
+buildLibquantum(const WorkloadParams &p)
+{
+    Rng rng(p.seed ^ 0x11b9ull);
+    Program prog("libquantum");
+
+    const int64_t states = 600000; // 8 B tags -> 4.8 MB
+    const int64_t iters = scaled(50000, p.scale);
+
+    uint64_t reg = prog.allocGlobal(static_cast<uint64_t>(states) * 8);
+    const int64_t logLen = 8192;
+    uint64_t log = prog.allocGlobal(static_cast<uint64_t>(logLen) * 8);
+    // The target bit follows the regular structure of a quantum
+    // register (period-16 runs with occasional noise): the gate branch
+    // is highly predictable, as in the real application.
+    for (int64_t i = 0; i < states; ++i) {
+        uint64_t tag = rng.below(1ull << 32) & ~(1ull << 7);
+        bool bit = ((i >> 3) & 1) != 0;
+        if (rng.chance(0.03))
+            bit = !bit;
+        if (bit)
+            tag |= 1ull << 7;
+        prog.poke64(reg + static_cast<uint64_t>(i) * 8, tag);
+    }
+
+    const AliasRegion R_REG = 1, R_LOG = 2;
+
+    IRBuilder b(prog);
+    int entry = b.newBlock("entry");
+    int loop = b.newBlock("gate");
+    int flip = b.newBlock("flip");
+    int nextB = b.newBlock("next");
+    int done = b.newBlock("done");
+
+    // S2=reg S3=i S4=iters S5=target mask S6=flips S7=phase S8=mask
+    b.at(entry)
+        .li(S2, static_cast<int64_t>(reg))
+        .li(S3, 0)
+        .li(S4, iters)
+        .li(S5, 1 << 7)
+        .li(S6, 0)
+        .li(S7, 0)
+        .li(S8, states - 1)
+        .li(S9, 0x9e3779b9)
+        .li(A6, 1)
+        .li(A7, 2)
+        .li(A4, static_cast<int64_t>(log))
+        .li(A5, logLen - 1)
+        .fallthrough(loop);
+
+    b.at(loop)
+        .mul(T0, S3, S9)             // hashed candidate (misses)
+        .srli(T0, T0, 15)
+        .and_(T0, T0, S8)
+        .slli(T3, S3, 1)             // strided candidate (prefetches)
+        .and_(T3, T3, S8)
+        .andi(T4, S3, 7)
+        .slt(T4, ZERO, T4)           // 0 every 8th gate application
+        .mul(T3, T3, T4)
+        .xori(T4, T4, 1)
+        .mul(T0, T0, T4)
+        .add(T0, T0, T3)
+        .slli(T0, T0, 3)
+        .add(T0, S2, T0)
+        .ld(T1, T0, 0, R_REG)        // amplitude tag
+        .and_(T2, T1, S5)
+        .addi(S7, S7, 5)             // independent phase bookkeeping
+        .andi(S7, S7, 4095)
+        .bne(T2, ZERO, flip, nextB); // target bit set? ~50%
+
+    b.at(flip)
+        .xor_(T1, T1, S5)
+        .and_(T5, S3, A5)            // log slot by gate index: no
+        .slli(T5, T5, 3)             // loop-carried cursor chain
+        .add(T5, A4, T5)
+        .sd(T1, T5, 0, R_LOG)        // batched toggle application
+        .jump(nextB);
+
+    b.at(nextB)
+        .fallthrough(done);
+    emitFiller(b, 12, {A0, A1, A2, A3, A6, A7});
+    b.at(nextB)
+        .addi(S3, S3, 1)
+        .blt(S3, S4, loop, done);
+
+    b.at(done).halt();
+
+    prog.finalize();
+    return prog;
+}
+
+} // namespace noreba

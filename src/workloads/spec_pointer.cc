@@ -1,0 +1,520 @@
+/**
+ * @file
+ * Pointer-heavy SPEC-like workloads: astar, mcf, omnetpp, xalancbmk,
+ * gcc. These are the benchmarks where OoO commit shines: critical
+ * branches depend on long-latency loads but guard small regions, so
+ * plenty of independent work piles up behind the blocked ROB head.
+ */
+
+#include "workloads/util.h"
+
+namespace noreba {
+
+/**
+ * SPEC 473.astar — Listing 1 of the paper: two independent loops. Loop
+ * one clears region centers through a pointer array; loop two walks a
+ * region map, and under `if (regionp)` accumulates into the region
+ * found. The null-check branch depends on a cache-missing pointer load
+ * but guards only four instructions.
+ */
+Program
+buildAstar(const WorkloadParams &p)
+{
+    Rng rng(p.seed ^ 0xa57a12ull);
+    Program prog("astar");
+
+    const int64_t npool = 4000;                 // 64 KB of regions
+    const int64_t nr = scaled(3000, p.scale);   // rarp entries
+    const int64_t map = 1 << 21;                // 16 MB region map
+    const int64_t iters = scaled(16000, p.scale);
+
+    uint64_t pool = prog.allocGlobal(static_cast<uint64_t>(npool) * 16);
+    uint64_t rarp = prog.allocGlobal(static_cast<uint64_t>(nr) * 8);
+    uint64_t regmap = prog.allocGlobal(static_cast<uint64_t>(map) * 8);
+
+    for (int64_t i = 0; i < nr; ++i)
+        prog.poke64(rarp + static_cast<uint64_t>(i) * 8,
+                    pool + rng.below(static_cast<uint64_t>(npool)) * 16);
+    for (int64_t i = 0; i < map; ++i) {
+        // ~12% null pointers; the rest point into the small, cache
+        // resident region pool.
+        uint64_t ptr = rng.chance(0.12)
+            ? 0
+            : pool + rng.below(static_cast<uint64_t>(npool)) * 16;
+        prog.poke64(regmap + static_cast<uint64_t>(i) * 8, ptr);
+    }
+
+    const AliasRegion R_POOL = 1, R_RARP = 2, R_MAP = 3;
+
+    IRBuilder b(prog);
+    int entry = b.newBlock("entry");
+    int l1 = b.newBlock("loop1");
+    int l2head = b.newBlock("loop2");
+    int l2body = b.newBlock("loop2_body");
+    int l2skip = b.newBlock("loop2_skip");
+    int done = b.newBlock("done");
+
+    // S2 = rarp base, S3 = i, S4 = nr, S5 = regmap base, S6 = iters
+    b.at(entry)
+        .li(S2, static_cast<int64_t>(rarp))
+        .li(S3, 0)
+        .li(S4, nr)
+        .li(S5, static_cast<int64_t>(regmap))
+        .li(S6, iters)
+        .li(S7, 0)   // loop2 j
+        .li(S8, 0)   // x coordinate stand-in
+        .li(S9, 0)   // y coordinate stand-in
+        .li(S10, map - 1)
+        .li(S11, 0x9e3779b9)
+        .li(A6, 1)
+        .li(A7, 2)
+        .fallthrough(l1);
+
+    // for (i = 0; i < nr; i++) { rarp[i]->centerp = {0, 0}; }
+    b.at(l1)
+        .slli(T0, S3, 3)
+        .add(T0, S2, T0)
+        .ld(T1, T0, 0, R_RARP)       // T1 = rarp[i]
+        .sw(ZERO, T1, 0, R_POOL)     // ->centerp.x = 0
+        .sw(ZERO, T1, 8, R_POOL)     // ->centerp.y = 0
+        .addi(S3, S3, 1)
+        .blt(S3, S4, l1, l2head);
+
+    // for (...) { p = regmapp(x, y); if (p) { p->centerp += (x,y); } }
+    // The map walk mixes strides so that DCPT covers most but not all
+    // of it: the uncovered accesses are the delinquent loads whose
+    // null-check branch stalls the ROB.
+    b.at(l2head)
+        .mul(T0, S7, S11)
+        .srli(T0, T0, 14)
+        .andi(T0, T0, 7)
+        .slti(T1, T0, 7)             // 1-in-8: random jump
+        .bne(T1, ZERO, l2skip, l2skip); // placeholder (rewritten below)
+    // NOTE: the placeholder branch above is replaced right after block
+    // construction; see the fix-up following the builder calls.
+
+    b.at(l2body)
+        .lw(T3, T2, 0, R_POOL)       // centerp.x += x  (pool: L1/L2)
+        .add(T3, T3, S8)
+        .sw(T3, T2, 0, R_POOL)
+        .lw(T4, T2, 8, R_POOL)       // centerp.y += y
+        .add(T4, T4, S9)
+        .sw(T4, T2, 8, R_POOL)
+        .jump(l2skip);
+
+    b.at(l2skip)
+        .addi(S8, S8, 1)             // x/y walk: independent
+        .slti(T5, S8, 512)
+        .add(S9, S9, T5)
+        .fallthrough(done);
+    emitFiller(b, 14, {A0, A1, A2, A3, A6, A7});
+    b.at(l2skip)
+        .addi(S7, S7, 1)
+        .blt(S7, S6, l2head, done);
+
+    b.at(done).halt();
+
+    // Rebuild loop2's head with the real access pattern: mostly a
+    // strided walk (prefetchable), occasionally a hashed jump (misses).
+    {
+        BasicBlock &bb = prog.function().block(l2head);
+        bb.insts.clear();
+        IRBuilder h(prog);
+        h.at(l2head)
+            .mul(T0, S7, S11)            // hashed candidate
+            .srli(T0, T0, 13)
+            .and_(T0, T0, S10)
+            .slli(T1, S7, 2)             // strided candidate (stride 4)
+            .and_(T1, T1, S10)
+            .andi(T5, S7, 7)
+            .slt(T5, ZERO, T5)           // 0 every 8th iteration
+            .mul(T6, T1, T5)
+            .xori(T5, T5, 1)
+            .mul(T0, T0, T5)
+            .add(T0, T0, T6)             // select hashed 1-in-8
+            .slli(T0, T0, 3)
+            .add(T0, S5, T0)
+            .ld(T2, T0, 0, R_MAP)        // regionp = regmapp(x, y)
+            .addi(S8, S8, 3)             // independent coordinate math
+            .andi(S9, S8, 1023)
+            .bne(T2, ZERO, l2body, l2skip);
+    }
+
+    prog.finalize();
+    return prog;
+}
+
+/**
+ * SPEC 429.mcf — the paper's best case (2.17x). Arc scan: a hashed
+ * index produces a cache-missing load of the arc cost; the `cost < 0`
+ * test guards a two-instruction body, while the next iterations are
+ * fully independent and pile up behind the stalled branch.
+ */
+Program
+buildMcf(const WorkloadParams &p)
+{
+    Rng rng(p.seed ^ 0x3cf3cfull);
+    Program prog("mcf");
+
+    const int64_t narcs = 220000;              // 32 B each -> 7 MB
+    const int64_t hot = 4096;                  // L1/L2-resident subset
+    const int64_t basis = 786432;              // 6 MB node array
+    const int64_t iters = scaled(14000, p.scale);
+
+    uint64_t arcs = prog.allocGlobal(static_cast<uint64_t>(narcs) * 32);
+    for (int64_t i = 0; i < narcs; ++i) {
+        int64_t cost = rng.range(-150, 850);   // negative ~15%
+        prog.poke64(arcs + static_cast<uint64_t>(i) * 32,
+                    static_cast<uint64_t>(cost));
+        prog.poke64(arcs + static_cast<uint64_t>(i) * 32 + 8,
+                    rng.below(1 << 20));
+    }
+    uint64_t bas = prog.allocGlobal(static_cast<uint64_t>(basis) * 8);
+    fillRandom64(prog, rng, bas, basis, 1 << 16);
+
+    const AliasRegion R_ARCS = 1, R_BAS = 2;
+
+    IRBuilder b(prog);
+    int entry = b.newBlock("entry");
+    int loop = b.newBlock("arc");
+    int body = b.newBlock("neg_arc");
+    int next = b.newBlock("next");
+    int done = b.newBlock("done");
+
+    // S2 = arcs, S3 = i, S4 = iters, S5 = flow sum (dependent),
+    // S6..S8 + A-regs = independent bookkeeping, S9 = hash multiplier.
+    b.at(entry)
+        .li(S2, static_cast<int64_t>(arcs))
+        .li(S3, 0)
+        .li(S4, iters)
+        .li(S5, 0)
+        .li(S6, 0)
+        .li(S7, 1)
+        .li(S8, 0)
+        .li(S9, 0x9e3779b9)
+        .li(S10, narcs - 1)
+        .li(S11, static_cast<int64_t>(bas))
+        .li(A4, basis - 1)
+        .li(A5, hot - 1)
+        .li(A6, 1)
+        .li(A7, 2)
+        .fallthrough(loop);
+
+    // Arc pricing scan: roughly every third probe leaves the hot set
+    // and misses all the way to DRAM; the cost test guards a tiny
+    // region while the basis bookkeeping below is independent.
+    b.at(loop)
+        .mul(T0, S3, S9)             // hashed arc index
+        .srli(T0, T0, 16)
+        .andi(T1, T0, 7)
+        .slt(T1, ZERO, T1)           // 1-in-8 iterations: cold probe
+        .xori(T2, T1, 1)
+        .and_(T3, T0, A5)            // hot index
+        .and_(T4, T0, S10)           // cold index
+        .mul(T3, T3, T1)
+        .mul(T4, T4, T2)
+        .add(T0, T3, T4)
+        .slli(T0, T0, 5)
+        .add(T0, S2, T0)
+        .ld(T1, T0, 0, R_ARCS)       // arc->cost
+        .blt(T1, ZERO, body, next);  // if (cost < 0): delinquent branch
+
+    b.at(body)
+        .add(S5, S5, T1)             // flow update (dependent)
+        .slli(T2, S5, 1)
+        .xor_(S5, S5, T2)
+        .addi(S5, S5, 1)
+        .jump(next);
+
+    // Independent per-iteration work: node-potential reads spread over
+    // a multi-megabyte array. Their addresses come from the induction
+    // variable (translation succeeds immediately), but the data misses
+    // deep in the hierarchy: in-order commit stalls on every one, while
+    // NOREBA reclaims them at the page-table check and lets execution
+    // complete in the background.
+    b.at(next)
+        .mul(T2, S3, S9)
+        .srli(T2, T2, 9)
+        .and_(T2, T2, A4)
+        .slli(T2, T2, 3)
+        .add(T2, S11, T2)
+        .ld(T3, T2, 0, R_BAS)        // node potential #1 (misses)
+        .add(S6, S6, T3)
+        .mul(T4, S3, S9)
+        .srli(T4, T4, 23)
+        .and_(T4, T4, A4)
+        .slli(T4, T4, 3)
+        .add(T4, S11, T4)
+        .ld(T5, T4, 0, R_BAS)        // node potential #2 (misses)
+        .xor_(S7, S7, T5)
+        .mul(T6, S3, S9)
+        .srli(T6, T6, 37)
+        .and_(T6, T6, A4)
+        .slli(T6, T6, 3)
+        .add(T6, S11, T6)
+        .ld(A0, T6, 0, R_BAS)        // node potential #3 (misses)
+        .add(S8, S8, A0)
+        .fallthrough(done);
+    emitFiller(b, 10, {A1, A2, A3, A6, A7});
+    b.at(next)
+        .addi(S3, S3, 1)
+        .blt(S3, S4, loop, done);
+
+    b.at(done).halt();
+
+    prog.finalize();
+    return prog;
+}
+
+/**
+ * SPEC 471.omnetpp — event-heap walk: sift-down style index chasing
+ * through a multi-megabyte heap with a hard-to-predict comparison; the
+ * next outer event is independent of the current sift.
+ */
+Program
+buildOmnetpp(const WorkloadParams &p)
+{
+    Rng rng(p.seed ^ 0x04e7eull);
+    Program prog("omnetpp");
+
+    const int64_t heap = 500000; // 8 B keys -> 4 MB
+    const int64_t events = scaled(16000, p.scale);
+
+    uint64_t keys = prog.allocGlobal(static_cast<uint64_t>(heap) * 8);
+    // Mostly heap-ordered keys: the sift compare is right ~85% of the
+    // time, so mispredictions are realistic rather than coin flips.
+    for (int64_t i = 0; i < heap; ++i)
+        prog.poke64(keys + static_cast<uint64_t>(i) * 8,
+                    static_cast<uint64_t>(i) * 1024 +
+                        rng.below(200000));
+
+    const AliasRegion R_HEAP = 1;
+
+    IRBuilder b(prog);
+    int entry = b.newBlock("entry");
+    int outer = b.newBlock("event");
+    int sift = b.newBlock("sift");
+    int swap = b.newBlock("swap");
+    int stepB = b.newBlock("step");
+    int outerNext = b.newBlock("event_next");
+    int done = b.newBlock("done");
+
+    // S2 = keys, S3 = event counter, S4 = events, S5 = sift index,
+    // S6 = sift depth, S7/S8 = independent stats, S9 = heap mask
+    b.at(entry)
+        .li(S2, static_cast<int64_t>(keys))
+        .li(S3, 0)
+        .li(S4, events)
+        .li(S9, heap - 1)
+        .li(S7, 0)
+        .li(S8, 0)
+        .fallthrough(outer);
+
+    b.at(outer)
+        .mul(S5, S3, S3)             // start index (pseudo-random walk)
+        .addi(S5, S5, 17)
+        .and_(S5, S5, S9)
+        .li(S6, 0)
+        .fallthrough(sift);
+
+    // Chase: load key[i], compare with key[2i], maybe swap, descend.
+    b.at(sift)
+        .slli(T0, S5, 3)
+        .add(T0, S2, T0)
+        .ld(T1, T0, 0, R_HEAP)       // key[i] (misses often)
+        .slli(T2, S5, 1)
+        .and_(T2, T2, S9)
+        .slli(T3, T2, 3)
+        .add(T3, S2, T3)
+        .ld(T4, T3, 0, R_HEAP)       // key[child]
+        .blt(T4, T1, swap, stepB);   // ~50%, resolves late
+
+    b.at(swap)
+        .sd(T4, T0, 0, R_HEAP)
+        .sd(T1, T3, 0, R_HEAP)
+        .jump(stepB);
+
+    b.at(stepB)
+        .mv(S5, T2)                  // descend to child
+        .addi(S6, S6, 1)
+        .addi(S7, S7, 3)             // independent event statistics
+        .xor_(S8, S8, S7)
+        .slti(T5, S6, 4)             // sift depth 4
+        .bne(T5, ZERO, sift, outerNext);
+
+    b.at(outerNext)
+        .addi(S3, S3, 1)
+        .blt(S3, S4, outer, done);
+
+    b.at(done).halt();
+
+    prog.finalize();
+    return prog;
+}
+
+/**
+ * SPEC 483.xalancbmk — DOM-ish traversal: load a node record, dispatch
+ * on its type through a jump table, run a short type-specific handler,
+ * then move to the next node by index (independent of the handler).
+ */
+Program
+buildXalancbmk(const WorkloadParams &p)
+{
+    Rng rng(p.seed ^ 0xa1a2c3ull);
+    Program prog("xalancbmk");
+
+    const int64_t nodes = 200000; // 16 B records -> 3.2 MB
+    const int64_t iters = scaled(30000, p.scale);
+
+    uint64_t arr = prog.allocGlobal(static_cast<uint64_t>(nodes) * 16);
+    {
+        uint64_t type = 0;
+        for (int64_t i = 0; i < nodes; ++i) {
+            if (!rng.chance(0.92))
+                type = rng.below(4); // sibling runs share a type
+            prog.poke64(arr + static_cast<uint64_t>(i) * 16, type);
+            prog.poke64(arr + static_cast<uint64_t>(i) * 16 + 8,
+                        rng.below(1 << 16)); // payload
+        }
+    }
+
+    const AliasRegion R_NODES = 1;
+
+    IRBuilder b(prog);
+    int entry = b.newBlock("entry");
+    int loop = b.newBlock("loop");
+    int h0 = b.newBlock("elem");
+    int h1 = b.newBlock("text");
+    int h2 = b.newBlock("attr");
+    int h3 = b.newBlock("comment");
+    int nextB = b.newBlock("next");
+    int done = b.newBlock("done");
+
+    // S2 = arr, S3 = i, S4 = iters, S5..S8 per-type counters, S9 mask
+    b.at(entry)
+        .li(S2, static_cast<int64_t>(arr))
+        .li(S3, 0)
+        .li(S4, iters)
+        .li(S5, 0)
+        .li(S6, 0)
+        .li(S7, 0)
+        .li(S8, 0)
+        .li(S9, nodes - 1)
+        .fallthrough(loop);
+
+    b.at(loop)
+        .mul(T0, S3, S3)
+        .addi(T0, T0, 11)
+        .and_(T0, T0, S9)
+        .slli(T0, T0, 4)
+        .add(T0, S2, T0)
+        .ld(T1, T0, 0, R_NODES)      // node->type (misses)
+        .ld(T2, T0, 8, R_NODES)      // node->payload
+        .jumpTable(T1, {h0, h1, h2, h3});
+
+    b.at(h0).add(S5, S5, T2).slli(T3, T2, 1).add(S5, S5, T3).jump(nextB);
+    b.at(h1).xor_(S6, S6, T2).addi(S6, S6, 1).jump(nextB);
+    b.at(h2).add(S7, S7, T2).andi(S7, S7, 0xfffff).jump(nextB);
+    b.at(h3).addi(S8, S8, 1).jump(nextB);
+
+    b.at(nextB)
+        .addi(S3, S3, 1)
+        .blt(S3, S4, loop, done);
+
+    b.at(done).halt();
+
+    prog.finalize();
+    return prog;
+}
+
+/**
+ * SPEC 403.gcc — RTL-pass flavour: a byte-coded instruction stream is
+ * dispatched through a jump table; handlers are short and mostly update
+ * independent counters, with one handler writing a symbol table.
+ */
+Program
+buildGcc(const WorkloadParams &p)
+{
+    Rng rng(p.seed ^ 0x6ccull);
+    Program prog("gcc");
+
+    const int64_t stream = 250000; // 4 B opcodes ~ 1 MB (L2-missing)
+    const int64_t symtab = 8192;
+    const int64_t iters = scaled(45000, p.scale);
+
+    uint64_t code = prog.allocGlobal(static_cast<uint64_t>(stream) * 4);
+    {
+        // Opcode runs repeat, as in real RTL streams: ~85% of fetches
+        // continue the previous opcode, so the indirect predictor does
+        // well while still paying for the genuine transitions.
+        uint32_t cur = 0;
+        for (int64_t i = 0; i < stream; ++i) {
+            if (!rng.chance(0.93))
+                cur = static_cast<uint32_t>(rng.below(6));
+            prog.poke32(code + static_cast<uint64_t>(i) * 4, cur);
+        }
+    }
+    uint64_t syms = prog.allocGlobal(static_cast<uint64_t>(symtab) * 8);
+    fillRandom64(prog, rng, syms, symtab, 1 << 20);
+
+    const AliasRegion R_CODE = 1, R_SYMS = 2;
+
+    IRBuilder b(prog);
+    int entry = b.newBlock("entry");
+    int loop = b.newBlock("fetch");
+    int hArith = b.newBlock("h_arith");
+    int hMove = b.newBlock("h_move");
+    int hCmp = b.newBlock("h_cmp");
+    int hSym = b.newBlock("h_sym");
+    int hJmp = b.newBlock("h_jmp");
+    int hNopB = b.newBlock("h_nop");
+    int nextB = b.newBlock("next");
+    int done = b.newBlock("done");
+
+    // S2=code S3=i S4=iters S5..S8 counters S9=stream mask S10=symtab
+    b.at(entry)
+        .li(S2, static_cast<int64_t>(code))
+        .li(S3, 0)
+        .li(S4, iters)
+        .li(S5, 0)
+        .li(S6, 0)
+        .li(S7, 0)
+        .li(S8, 1)
+        .li(S9, stream - 1)
+        .li(S10, static_cast<int64_t>(syms))
+        .li(S11, symtab - 1)
+        .fallthrough(loop);
+
+    b.at(loop)
+        .and_(T0, S3, S9)
+        .slli(T0, T0, 2)
+        .add(T0, S2, T0)
+        .lw(T1, T0, 0, R_CODE)       // next opcode
+        .jumpTable(T1, {hArith, hMove, hCmp, hSym, hJmp, hNopB});
+
+    b.at(hArith).add(S5, S5, S8).slli(T2, S5, 1).xor_(S5, S5, T2)
+        .jump(nextB);
+    b.at(hMove).mv(T2, S6).addi(S6, S6, 4).jump(nextB);
+    b.at(hCmp).slt(T2, S5, S6).add(S7, S7, T2).jump(nextB);
+    b.at(hSym)
+        .and_(T2, S5, S11)
+        .slli(T2, T2, 3)
+        .add(T2, S10, T2)
+        .ld(T3, T2, 0, R_SYMS)
+        .addi(T3, T3, 1)
+        .sd(T3, T2, 0, R_SYMS)
+        .jump(nextB);
+    b.at(hJmp).addi(S8, S8, 3).andi(S8, S8, 255).jump(nextB);
+    b.at(hNopB).jump(nextB);
+
+    b.at(nextB)
+        .addi(S3, S3, 1)
+        .blt(S3, S4, loop, done);
+
+    b.at(done).halt();
+
+    prog.finalize();
+    return prog;
+}
+
+} // namespace noreba

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared helpers for workload generators: scaled sizing and
+ * deterministic data-segment initialization.
+ */
+
+#ifndef NOREBA_WORKLOADS_UTIL_H
+#define NOREBA_WORKLOADS_UTIL_H
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "ir/builder.h"
+#include "workloads/workloads.h"
+
+namespace noreba {
+
+/** Scale an iteration count, keeping it at least 1. */
+inline int64_t
+scaled(int64_t n, double scale)
+{
+    return std::max<int64_t>(1, static_cast<int64_t>(n * scale));
+}
+
+/** Fill `count` 64-bit words at `base` with uniform values in [0, mod). */
+inline void
+fillRandom64(Program &prog, Rng &rng, uint64_t base, int64_t count,
+             uint64_t mod)
+{
+    for (int64_t i = 0; i < count; ++i)
+        prog.poke64(base + static_cast<uint64_t>(i) * 8, rng.below(mod));
+}
+
+/** Fill `count` 32-bit words at `base` with uniform values in [0, mod). */
+inline void
+fillRandom32(Program &prog, Rng &rng, uint64_t base, int64_t count,
+             uint64_t mod)
+{
+    for (int64_t i = 0; i < count; ++i)
+        prog.poke32(base + static_cast<uint64_t>(i) * 4,
+                    static_cast<uint32_t>(rng.below(mod)));
+}
+
+/**
+ * Emit `n` branch-independent bookkeeping instructions over the given
+ * scratch registers. Real hot loops carry address arithmetic, counters
+ * and statistics besides the critical load/branch pattern; this filler
+ * reproduces that instruction-level parallelism so that dependent
+ * regions have realistic densities.
+ */
+inline void
+emitFiller(IRBuilder &b, int n, std::initializer_list<Reg> regs)
+{
+    std::vector<Reg> r(regs);
+    for (int i = 0; i < n; ++i) {
+        Reg a = r[static_cast<size_t>(i) % r.size()];
+        Reg c = r[static_cast<size_t>(i + 1) % r.size()];
+        switch (i % 5) {
+          case 0: b.addi(a, a, 3); break;
+          case 1: b.xor_(a, a, c); break;
+          case 2: b.srli(a, a, 1); break;
+          case 3: b.add(a, a, c); break;
+          default: b.andi(a, a, 0xffffff); break;
+        }
+    }
+}
+
+/** Fill `count` doubles at `base` with uniform values in [lo, hi). */
+inline void
+fillRandomF64(Program &prog, Rng &rng, uint64_t base, int64_t count,
+              double lo, double hi)
+{
+    for (int64_t i = 0; i < count; ++i)
+        prog.pokeDouble(base + static_cast<uint64_t>(i) * 8,
+                        lo + rng.uniform() * (hi - lo));
+}
+
+} // namespace noreba
+
+#endif // NOREBA_WORKLOADS_UTIL_H

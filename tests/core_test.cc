@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Unit/integration tests for the cycle-level core: stage behaviour,
+ * resource limits, misprediction recovery, forwarding, fences, and
+ * cross-policy conservation invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace noreba {
+namespace {
+
+using testutil::countedLoop;
+using testutil::Prepared;
+using testutil::prepare;
+using testutil::run;
+
+TEST(Core, CommitsEveryInstructionExactlyOnce)
+{
+    Program prog = countedLoop(500, [](IRBuilder &b, Program &, int,
+                                       int) { b.addi(T0, T0, 1); });
+    Prepared p = prepare(prog);
+    for (CommitMode mode :
+         {CommitMode::InOrder, CommitMode::NonSpecOoO,
+          CommitMode::Noreba, CommitMode::IdealReconv,
+          CommitMode::SpeculativeBR, CommitMode::SpeculativeFull}) {
+        CoreStats s = run(p, mode);
+        EXPECT_EQ(s.committedInsts, p.trace.dynInsts)
+            << commitModeName(mode);
+    }
+}
+
+TEST(Core, InOrderNeverCommitsOoO)
+{
+    Program prog = testutil::delinquentLoop(2000);
+    Prepared p = prepare(prog);
+    CoreStats s = run(p, CommitMode::InOrder);
+    EXPECT_EQ(s.committedOoO, 0u);
+}
+
+TEST(Core, SerialChainBoundByLatency)
+{
+    // 1000 dependent 1-cycle adds cannot finish faster than ~1 IPC.
+    Program prog = countedLoop(
+        250, [](IRBuilder &b, Program &, int, int) {
+            b.add(T0, T0, T0).add(T0, T0, T0).add(T0, T0, T0)
+                .add(T0, T0, T0);
+        });
+    Prepared p = prepare(prog);
+    CoreStats s = run(p, CommitMode::InOrder);
+    // 4 chained adds + loop overhead per iteration: at least 4 cycles
+    // per iteration.
+    EXPECT_GE(s.cycles, 4u * 250u);
+}
+
+TEST(Core, IndependentWorkReachesSuperscalarIpc)
+{
+    Program prog = countedLoop(
+        400, [](IRBuilder &b, Program &, int, int) {
+            b.addi(T0, T0, 1).addi(T1, T1, 1).addi(T2, T2, 1)
+                .addi(T3, T3, 1).addi(T4, T4, 1).addi(S2, S2, 1);
+        });
+    Prepared p = prepare(prog);
+    CoreStats s = run(p, CommitMode::InOrder);
+    EXPECT_GT(s.ipc(), 1.8);
+}
+
+TEST(Core, CommitWidthCapsThroughput)
+{
+    Program prog = countedLoop(
+        400, [](IRBuilder &b, Program &, int, int) {
+            b.addi(T0, T0, 1).addi(T1, T1, 1).addi(T2, T2, 1)
+                .addi(T3, T3, 1).addi(T4, T4, 1).addi(S2, S2, 1);
+        });
+    Prepared p = prepare(prog);
+    CoreConfig narrow = skylakeConfig();
+    narrow.commitWidth = 1;
+    CoreStats s = run(p, CommitMode::InOrder, narrow);
+    // 8 instructions per iteration at <= 1 commit/cycle.
+    EXPECT_GE(s.cycles, 8u * 400u);
+}
+
+TEST(Core, MispredictionsCostCycles)
+{
+    // Same instruction counts; one loop's branch is data-random, the
+    // other's is a fixed pattern.
+    Rng rng(3);
+    auto mk = [&](bool random) {
+        Program prog("br");
+        uint64_t buf = prog.allocGlobal(8192);
+        for (int i = 0; i < 1024; ++i)
+            prog.poke64(buf + static_cast<uint64_t>(i) * 8,
+                        random ? rng.below(2) : 0);
+        IRBuilder b(prog);
+        int e = b.newBlock();
+        int loop = b.newBlock();
+        int yes = b.newBlock();
+        int next = b.newBlock();
+        int exit = b.newBlock();
+        b.at(e)
+            .li(S2, static_cast<int64_t>(buf))
+            .li(T6, 0)
+            .li(T5, 4000)
+            .fallthrough(loop);
+        b.at(loop)
+            .andi(T0, T6, 1023)
+            .slli(T0, T0, 3)
+            .add(T0, S2, T0)
+            .ld(T1, T0, 0, 1)
+            .bne(T1, ZERO, yes, next);
+        b.at(yes).addi(T2, T2, 1).jump(next);
+        b.at(next).addi(T6, T6, 1).blt(T6, T5, loop, exit);
+        b.at(exit).halt();
+        prog.finalize();
+        return prog;
+    };
+    Program predictable = mk(false);
+    Program random = mk(true);
+    Prepared pPred = prepare(predictable);
+    Prepared pRand = prepare(random);
+    CoreStats sPred = run(pPred, CommitMode::InOrder);
+    CoreStats sRand = run(pRand, CommitMode::InOrder);
+    EXPECT_GT(sRand.mispredicts, sPred.mispredicts + 500);
+    EXPECT_GT(sRand.cycles, sPred.cycles);
+    EXPECT_GT(sRand.squashes, 100u);
+}
+
+TEST(Core, StoreToLoadForwardingBeatsCacheMiss)
+{
+    // Each iteration stores then immediately loads the same address in
+    // a fresh (never cached) line: forwarding keeps it fast.
+    auto mk = [](bool forward) {
+        Program prog("fwd");
+        prog.allocGlobal(64 * 70000);
+        IRBuilder b(prog);
+        int e = b.newBlock();
+        int loop = b.newBlock();
+        int exit = b.newBlock();
+        b.at(e)
+            .li(S2, static_cast<int64_t>(HEAP_BASE))
+            .li(T6, 0)
+            .li(T5, 3000)
+            .fallthrough(loop);
+        b.at(loop)
+            .slli(T0, T6, 6) // a new cache line every iteration
+            .add(T0, S2, T0);
+        if (forward)
+            b.sd(T6, T0, 0, 1).ld(T1, T0, 0, 1);
+        else
+            b.ld(T1, T0, 0, 1).sd(T6, T0, 0, 1);
+        b.add(T2, T1, T1).addi(T6, T6, 1).blt(T6, T5, loop, exit);
+        b.at(exit).halt();
+        prog.finalize();
+        return prog;
+    };
+    Program fwd = mk(true);
+    Program miss = mk(false);
+    CoreConfig cfg = skylakeConfig();
+    cfg.prefetcher = false; // keep the miss path honest
+    Prepared pf = prepare(fwd);
+    Prepared pm = prepare(miss);
+    CoreStats sf = run(pf, CommitMode::InOrder, cfg);
+    CoreStats sm = run(pm, CommitMode::InOrder, cfg);
+    EXPECT_LT(sf.cycles * 2, sm.cycles);
+}
+
+TEST(Core, FenceForcesInOrderCommitAroundIt)
+{
+    Program prog = testutil::delinquentLoop(1500);
+    // Rebuild with a fence inside the loop: OoO commit disappears.
+    Program fenced("fenced");
+    {
+        Rng rng(42);
+        const int64_t tableLen = 1 << 18;
+        uint64_t table = fenced.allocGlobal(tableLen * 8);
+        for (int64_t i = 0; i < tableLen; ++i)
+            fenced.poke64(table + static_cast<uint64_t>(i) * 8,
+                          rng.next());
+        IRBuilder b(fenced);
+        int entry = b.newBlock();
+        int loop = b.newBlock();
+        int rare = b.newBlock();
+        int next = b.newBlock();
+        int exit = b.newBlock();
+        b.at(entry)
+            .li(S2, static_cast<int64_t>(table))
+            .li(S3, 0)
+            .li(S4, 1500)
+            .li(S7, tableLen - 1)
+            .li(S8, 0x9e3779b9)
+            .fallthrough(loop);
+        b.at(loop)
+            .mul(T0, S3, S8)
+            .srli(T0, T0, 13)
+            .and_(T0, T0, S7)
+            .slli(T0, T0, 3)
+            .add(T0, S2, T0)
+            .ld(T1, T0, 0, 1)
+            .andi(T2, T1, 15)
+            .beq(T2, ZERO, rare, next);
+        b.at(rare).add(S5, S5, T1).jump(next);
+        b.at(next)
+            .fence()
+            .addi(S6, S6, 3)
+            .addi(S3, S3, 1)
+            .blt(S3, S4, loop, exit);
+        b.at(exit).halt();
+        fenced.finalize();
+        runBranchDependencePass(fenced);
+    }
+    Prepared pFree = prepare(prog);
+    Prepared pFenced = prepare(fenced);
+    CoreStats sFree = run(pFree, CommitMode::Noreba);
+    CoreStats sFenced = run(pFenced, CommitMode::Noreba);
+    EXPECT_GT(sFree.oooCommitFraction(), 0.2);
+    // A fence every iteration pins commit to the in-order frontier.
+    EXPECT_LT(sFenced.oooCommitFraction(), 0.02);
+}
+
+TEST(Core, SetupInstructionsConsumeFetchOnly)
+{
+    Program prog = testutil::delinquentLoop(1500);
+    Prepared p = prepare(prog);
+    CoreStats s = run(p, CommitMode::Noreba);
+    EXPECT_GT(s.setupFetched, 0u);
+    // Committed instructions exclude setups.
+    EXPECT_EQ(s.committedInsts, p.trace.dynInsts);
+}
+
+TEST(Core, DeterministicAcrossRuns)
+{
+    Program prog = testutil::delinquentLoop(1200);
+    Prepared p = prepare(prog);
+    CoreStats a = run(p, CommitMode::Noreba);
+    CoreStats c = run(p, CommitMode::Noreba);
+    EXPECT_EQ(a.cycles, c.cycles);
+    EXPECT_EQ(a.committedOoO, c.committedOoO);
+    EXPECT_EQ(a.mispredicts, c.mispredicts);
+}
+
+TEST(Core, SquashedWorkIsRefetched)
+{
+    Program prog = testutil::delinquentLoop(3000);
+    Prepared p = prepare(prog);
+    CoreStats s = run(p, CommitMode::InOrder);
+    if (s.squashes > 0) {
+        // Fetch count must exceed the trace length: squashed work is
+        // fetched again.
+        EXPECT_GT(s.fetched, p.trace.size());
+    }
+}
+
+TEST(Core, NorebaDropsRefetchedCommits)
+{
+    Program prog = testutil::delinquentLoop(4000);
+    Prepared p = prepare(prog);
+    CoreStats s = run(p, CommitMode::Noreba);
+    // The delinquent branch mispredicts sometimes; anything already
+    // committed beyond its reconvergence point is CIT-dropped.
+    EXPECT_GT(s.mispredicts, 0u);
+    EXPECT_GT(s.citDrops, 0u);
+}
+
+TEST(Core, IcacheMissesStallOnHugeFootprint)
+{
+    // A program with a long straight-line body exceeding the L1I.
+    Program prog("bigcode");
+    IRBuilder b(prog);
+    int e = b.newBlock("e");
+    int loop = b.newBlock("loop");
+    int exit = b.newBlock("exit");
+    b.at(e).li(T6, 0).li(T5, 12).fallthrough(loop);
+    b.at(loop);
+    for (int i = 0; i < 12000; ++i) // ~48 KB of code
+        b.addi(T0, T0, 1);
+    b.addi(T6, T6, 1).blt(T6, T5, loop, exit);
+    b.at(exit).halt();
+    prog.finalize();
+    Prepared p = prepare(prog, 200000);
+    CoreStats s = run(p, CommitMode::InOrder);
+    EXPECT_GT(s.icacheStallCycles, 100u);
+}
+
+} // namespace
+} // namespace noreba

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Headline-shape assertions: the qualitative results the paper leads
+ * with must hold in this reproduction (with model-appropriate bands —
+ * see EXPERIMENTS.md for the quantitative comparison):
+ *
+ *  - Noreba improves the suite geomean over in-order commit;
+ *  - the best case is a pointer-chasing SPEC-like app (mcf) with a
+ *    large gain, the worst cases (bzip2, dijkstra, sha) sit near 1.0;
+ *  - Noreba captures most of what the Ideal Reconvergence design can;
+ *  - high-gain apps commit a large fraction of instructions OoO and
+ *    low-gain apps almost none (Figure 8's split).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "sim/runner.h"
+
+namespace noreba {
+namespace {
+
+struct Row
+{
+    double noreba = 0.0;
+    double ideal = 0.0;
+    double oooFraction = 0.0;
+};
+
+const std::map<std::string, Row> &
+results()
+{
+    static const std::map<std::string, Row> rows = [] {
+        std::map<std::string, Row> out;
+        for (const char *name :
+             {"mcf", "CRC32", "libquantum", "bzip2", "dijkstra",
+              "sha"}) {
+            TraceOptions opts;
+            opts.maxDynInsts = 80000;
+            TraceBundle bundle = prepareTrace(name, opts);
+
+            CoreConfig ino = skylakeConfig();
+            ino.commitMode = CommitMode::InOrder;
+            CoreStats sIno = simulate(ino, bundle);
+
+            CoreConfig nor = skylakeConfig();
+            nor.commitMode = CommitMode::Noreba;
+            CoreStats sNor = simulate(nor, bundle);
+
+            CoreConfig ideal = skylakeConfig();
+            ideal.commitMode = CommitMode::IdealReconv;
+            CoreStats sIdeal = simulate(ideal, bundle);
+
+            Row row;
+            row.noreba = speedup(sIno, sNor);
+            row.ideal = speedup(sIno, sIdeal);
+            row.oooFraction = sNor.oooCommitFraction();
+            out[name] = row;
+        }
+        return out;
+    }();
+    return rows;
+}
+
+TEST(Headline, GeomeanImprovesOverInOrder)
+{
+    Geomean geo;
+    for (const auto &[name, row] : results())
+        geo.sample(row.noreba);
+    // Paper: 1.22x over the full suite; this subset mixes best and
+    // worst cases, so require a clear improvement.
+    EXPECT_GT(geo.value(), 1.10);
+    EXPECT_LT(geo.value(), 2.0);
+}
+
+TEST(Headline, McfIsTheBestCase)
+{
+    const auto &r = results();
+    EXPECT_GT(r.at("mcf").noreba, 1.35);
+    for (const auto &[name, row] : r)
+        EXPECT_GE(r.at("mcf").noreba + 0.15, row.noreba) << name;
+}
+
+TEST(Headline, WorstCasesStayNearOne)
+{
+    const auto &r = results();
+    for (const char *name : {"bzip2", "dijkstra", "sha"}) {
+        EXPECT_GE(r.at(name).noreba, 0.98) << name;
+        EXPECT_LT(r.at(name).noreba, 1.10) << name;
+    }
+}
+
+TEST(Headline, NorebaCapturesMostOfIdeal)
+{
+    // Figure 9 reports ~99% of ideal at 2x8 queues; our model's
+    // same-site instance ordering (a soundness requirement, see
+    // EXPERIMENTS.md) costs headroom on delinquency-dense kernels.
+    Geomean ratio;
+    for (const auto &[name, row] : results()) {
+        EXPECT_GT(row.noreba / row.ideal, 0.40) << name;
+        ratio.sample(row.noreba / row.ideal);
+    }
+    EXPECT_GT(ratio.value(), 0.65);
+}
+
+TEST(Headline, OooFractionSeparatesWinnersFromLosers)
+{
+    const auto &r = results();
+    // Paper Figure 8: CRC and mcf commit > 20% OoO. Our counter tallies
+    // every Condition-5-relaxed commit, including ones past briefly
+    // unresolved branches, so the low-gain apps sit above the paper's
+    // near-zero bars; the ordering between winners and losers is the
+    // reproduced shape.
+    EXPECT_GT(r.at("mcf").oooFraction, 0.20);
+    EXPECT_GT(r.at("CRC32").oooFraction, 0.20);
+    EXPECT_LT(r.at("bzip2").oooFraction, 0.35);
+    EXPECT_LT(r.at("dijkstra").oooFraction, 0.35);
+    EXPECT_GT(r.at("mcf").oooFraction,
+              1.5 * r.at("bzip2").oooFraction);
+    EXPECT_GT(r.at("CRC32").oooFraction,
+              1.5 * r.at("dijkstra").oooFraction);
+}
+
+} // namespace
+} // namespace noreba

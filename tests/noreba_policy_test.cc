@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Tests for the NOREBA Selective-ROB commit policy: steering per
+ * Table 1, queue capacities, CQT lifetime, CIT capacity gating, and
+ * the relationships Figures 6/9 rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace noreba {
+namespace {
+
+using testutil::Prepared;
+using testutil::prepare;
+using testutil::run;
+
+TEST(Noreba, CommitsPastDelinquentBranch)
+{
+    Program prog = testutil::delinquentLoop(5000);
+    Prepared p = prepare(prog);
+    CoreStats ino = run(p, CommitMode::InOrder);
+    CoreStats nor = run(p, CommitMode::Noreba);
+    EXPECT_GT(nor.oooCommitFraction(), 0.25);
+    EXPECT_LT(nor.cycles, ino.cycles);
+}
+
+TEST(Noreba, UnannotatedProgramBehavesInOrderish)
+{
+    // Without setup instructions everything steers to the PR-CQ in
+    // program order (Section 4.2).
+    Program prog("plain");
+    {
+        Rng rng(42);
+        const int64_t tableLen = 1 << 18;
+        uint64_t table = prog.allocGlobal(tableLen * 8);
+        for (int64_t i = 0; i < tableLen; ++i)
+            prog.poke64(table + static_cast<uint64_t>(i) * 8,
+                        rng.next());
+        IRBuilder b(prog);
+        int entry = b.newBlock();
+        int loop = b.newBlock();
+        int rare = b.newBlock();
+        int next = b.newBlock();
+        int exit = b.newBlock();
+        b.at(entry)
+            .li(S2, static_cast<int64_t>(table))
+            .li(S3, 0)
+            .li(S4, 2000)
+            .li(S7, tableLen - 1)
+            .li(S8, 0x9e3779b9)
+            .fallthrough(loop);
+        b.at(loop)
+            .mul(T0, S3, S8)
+            .srli(T0, T0, 13)
+            .and_(T0, T0, S7)
+            .slli(T0, T0, 3)
+            .add(T0, S2, T0)
+            .ld(T1, T0, 0, 1)
+            .andi(T2, T1, 15)
+            .beq(T2, ZERO, rare, next);
+        b.at(rare).add(S5, S5, T1).jump(next);
+        b.at(next).addi(S3, S3, 1).blt(S3, S4, loop, exit);
+        b.at(exit).halt();
+        prog.finalize();
+        // No pass: BranchID 0 everywhere.
+    }
+    Prepared p = prepare(prog);
+    CoreStats nor = run(p, CommitMode::Noreba);
+    // Memory ops still early-reclaim at the PR-CQ head, but nothing
+    // passes an unresolved branch, so OoO commit stays minimal.
+    EXPECT_LT(nor.oooCommitFraction(), 0.30);
+}
+
+TEST(Noreba, CitCapacityGatesCommitAhead)
+{
+    Program prog = testutil::delinquentLoop(5000);
+    Prepared p = prepare(prog);
+
+    CoreConfig tiny = skylakeConfig();
+    tiny.srob.citEntries = 2;
+    CoreStats small = run(p, CommitMode::Noreba, tiny);
+
+    CoreConfig big = skylakeConfig();
+    big.srob.citEntries = 512;
+    CoreStats large = run(p, CommitMode::Noreba, big);
+
+    EXPECT_GT(small.citFullStalls, large.citFullStalls);
+    EXPECT_LE(large.cycles, small.cycles);
+    EXPECT_LT(small.oooCommitFraction(), large.oooCommitFraction());
+}
+
+TEST(Noreba, QueueSizingSaturates)
+{
+    // Figure 9's shape: growing the BR-CQs beyond 2x8 helps little.
+    Program prog = testutil::delinquentLoop(5000);
+    Prepared p = prepare(prog);
+
+    auto cyclesFor = [&](int nq, int entries) {
+        CoreConfig cfg = skylakeConfig();
+        cfg.srob.numBrCqs = nq;
+        cfg.srob.brCqEntries = entries;
+        cfg.srob.prCqEntries = entries;
+        return run(p, CommitMode::Noreba, cfg).cycles;
+    };
+    uint64_t tiny = cyclesFor(1, 2);
+    uint64_t paper = cyclesFor(2, 8);
+    uint64_t huge = cyclesFor(8, 64);
+    EXPECT_LE(paper, tiny);
+    // Saturation: the jump from 2x8 to 8x64 is under 10%.
+    EXPECT_LT(static_cast<double>(paper) - static_cast<double>(huge),
+              0.10 * static_cast<double>(paper));
+}
+
+TEST(Noreba, TracksIdealReconvergenceClosely)
+{
+    Program prog = testutil::delinquentLoop(6000);
+    Prepared p = prepare(prog);
+    CoreStats nor = run(p, CommitMode::Noreba);
+    CoreStats ideal = run(p, CommitMode::IdealReconv);
+    // Figure 9 reports ~99% of ideal at 2x8 queues. Our model enforces
+    // in-order retirement among instances of one static branch (a
+    // soundness requirement the paper does not discuss — see
+    // EXPERIMENTS.md), which costs real headroom on this worst-case
+    // kernel whose every iteration re-executes the delinquent site.
+    EXPECT_GE(static_cast<double>(ideal.cycles) /
+                  static_cast<double>(nor.cycles),
+              0.55);
+}
+
+TEST(Noreba, SteeringWaitsForPageTableCheck)
+{
+    // A pointer-chase body: addresses depend on loaded data, so the
+    // in-order TLB gate at the ROB' head throttles steering.
+    Program prog("chase");
+    {
+        Rng rng(4);
+        const int64_t n = 1 << 16;
+        uint64_t arr = prog.allocGlobal(n * 8);
+        // A random cycle of pointers.
+        std::vector<uint64_t> perm(n);
+        for (int64_t i = 0; i < n; ++i)
+            perm[static_cast<size_t>(i)] = static_cast<uint64_t>(i);
+        for (int64_t i = n - 1; i > 0; --i)
+            std::swap(perm[static_cast<size_t>(i)],
+                      perm[rng.below(static_cast<uint64_t>(i + 1))]);
+        for (int64_t i = 0; i < n; ++i)
+            prog.poke64(arr + perm[static_cast<size_t>(i)] * 8,
+                        arr + perm[static_cast<size_t>((i + 1) % n)] *
+                                  8);
+        IRBuilder b(prog);
+        int e = b.newBlock();
+        int loop = b.newBlock();
+        int exit = b.newBlock();
+        b.at(e)
+            .li(T0, static_cast<int64_t>(arr + perm[0] * 8))
+            .li(T6, 0)
+            .li(T5, 3000)
+            .fallthrough(loop);
+        b.at(loop)
+            .ld(T0, T0, 0, 1) // next = *p
+            .addi(T6, T6, 1)
+            .blt(T6, T5, loop, exit);
+        b.at(exit).halt();
+        prog.finalize();
+        runBranchDependencePass(prog);
+    }
+    Prepared p = prepare(prog);
+    CoreStats s = run(p, CommitMode::Noreba);
+    EXPECT_GT(s.steerStallTlb, 1000u);
+}
+
+TEST(Noreba, BrCqFullStallsUnderDelinquencyFlood)
+{
+    // One delinquent branch per few instructions floods the two
+    // BR-CQs; shrinking them to a single 2-entry queue must show
+    // queue-full steering stalls.
+    Program prog = testutil::delinquentLoop(4000);
+    Prepared p = prepare(prog);
+    CoreConfig cfg = skylakeConfig();
+    cfg.srob.numBrCqs = 1;
+    cfg.srob.brCqEntries = 2;
+    cfg.srob.prCqEntries = 2;
+    CoreStats s = run(p, CommitMode::Noreba, cfg);
+    EXPECT_GT(s.steerStallCqFull, 0u);
+}
+
+TEST(Noreba, SelectiveRobActivityIsCounted)
+{
+    Program prog = testutil::delinquentLoop(2000);
+    Prepared p = prepare(prog);
+    CoreStats s = run(p, CommitMode::Noreba);
+    EXPECT_GT(s.bitOps, 0u);
+    EXPECT_GT(s.dctOps, 0u);
+    EXPECT_GT(s.cqtOps, 0u);
+    EXPECT_GT(s.cqOps, s.committedInsts); // push + pop per instruction
+    EXPECT_GT(s.citOps, 0u);
+}
+
+TEST(Noreba, EclIsSubsumedByBaseNoreba)
+{
+    Program prog = testutil::delinquentLoop(3000);
+    Prepared p = prepare(prog);
+    CoreConfig ecl = skylakeConfig();
+    ecl.earlyCommitLoads = true;
+    CoreStats base = run(p, CommitMode::Noreba);
+    CoreStats withEcl = run(p, CommitMode::Noreba, ecl);
+    // Base Noreba already reclaims TLB-checked loads (footnote 1).
+    EXPECT_NEAR(static_cast<double>(base.cycles),
+                static_cast<double>(withEcl.cycles),
+                0.02 * static_cast<double>(base.cycles));
+}
+
+TEST(Noreba, EclHelpsInOrderBaseline)
+{
+    // ECL shines when the commit head is a long-latency load with no
+    // branch in the way: the load retires at its page-table check.
+    Program prog("loadbound");
+    {
+        Rng rng(6);
+        const int64_t n = 1 << 18; // 2 MB
+        uint64_t buf = prog.allocGlobal(n * 8);
+        for (int64_t i = 0; i < n; ++i)
+            prog.poke64(buf + static_cast<uint64_t>(i) * 8,
+                        rng.next());
+        IRBuilder b(prog);
+        int e = b.newBlock();
+        int loop = b.newBlock();
+        int exit = b.newBlock();
+        b.at(e)
+            .li(S2, static_cast<int64_t>(buf))
+            .li(T6, 0)
+            .li(T5, 3000)
+            .li(S7, n - 1)
+            .li(S8, 0x9e3779b9)
+            .fallthrough(loop);
+        b.at(loop)
+            .mul(T0, T6, S8)
+            .srli(T0, T0, 13)
+            .and_(T0, T0, S7)
+            .slli(T0, T0, 3)
+            .add(T0, S2, T0)
+            .ld(T1, T0, 0, 1) // delinquent, no dependent branch
+            .addi(S6, S6, 1)
+            .xori(S6, S6, 3)
+            .addi(T6, T6, 1)
+            .blt(T6, T5, loop, exit);
+        b.at(exit).halt();
+        prog.finalize();
+    }
+    Prepared p = prepare(prog);
+    CoreConfig ecl = skylakeConfig();
+    ecl.earlyCommitLoads = true;
+    CoreStats plain = run(p, CommitMode::InOrder);
+    CoreStats withEcl = run(p, CommitMode::InOrder, ecl);
+    EXPECT_LT(withEcl.cycles, plain.cycles);
+}
+
+TEST(Noreba, CommitWidthStillCaps)
+{
+    Program prog = testutil::delinquentLoop(3000);
+    Prepared p = prepare(prog);
+    CoreConfig narrow = skylakeConfig();
+    narrow.commitWidth = 1;
+    narrow.steerWidth = 1;
+    CoreStats n1 = run(p, CommitMode::Noreba, narrow);
+    CoreStats n4 = run(p, CommitMode::Noreba);
+    EXPECT_GT(n1.cycles, n4.cycles);
+    EXPECT_GE(n1.cycles, p.trace.dynInsts); // <= 1 IPC at width 1
+}
+
+} // namespace
+} // namespace noreba

@@ -1,0 +1,183 @@
+/** @file Unit tests for reaching definitions and the alias oracle. */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/reaching_defs.h"
+
+namespace noreba {
+namespace {
+
+TEST(ReachingDefs, StraightLineKill)
+{
+    Program prog("straight");
+    IRBuilder b(prog);
+    int e = b.newBlock();
+    b.at(e)
+        .li(T0, 1)      // def 0
+        .li(T0, 2)      // def 1 kills def 0
+        .add(T1, T0, T0) // use of T0
+        .halt();
+    prog.finalize();
+    ReachingDefs rd(prog.function());
+
+    auto scan = rd.scan(e);
+    scan.advance(); // past def 0
+    scan.advance(); // past def 1
+    std::vector<int> defs;
+    scan.reachingDefs(T0, defs);
+    ASSERT_EQ(defs.size(), 1u);
+    EXPECT_EQ(rd.def(defs[0]).idx, 1);
+}
+
+TEST(ReachingDefs, MergeAtJoin)
+{
+    Program prog("joiny");
+    IRBuilder b(prog);
+    int entry = b.newBlock("entry");
+    int thenB = b.newBlock("then");
+    int elseB = b.newBlock("else");
+    int join = b.newBlock("join");
+    b.at(entry).li(T1, 0).beq(T1, ZERO, elseB, thenB);
+    b.at(thenB).li(T0, 1).jump(join);  // def A
+    b.at(elseB).li(T0, 2).jump(join);  // def B
+    b.at(join).add(T2, T0, T0).halt(); // both defs reach
+    prog.finalize();
+    ReachingDefs rd(prog.function());
+
+    auto scan = rd.scan(join);
+    std::vector<int> defs;
+    scan.reachingDefs(T0, defs);
+    EXPECT_EQ(defs.size(), 2u);
+}
+
+TEST(ReachingDefs, LoopCarriedDefReachesBlockTop)
+{
+    Program prog("loopy");
+    IRBuilder b(prog);
+    int entry = b.newBlock("entry");
+    int body = b.newBlock("body");
+    int exit = b.newBlock("exit");
+    b.at(entry).li(T0, 0).fallthrough(body);
+    b.at(body).addi(T0, T0, 1).slti(T1, T0, 5).bne(T1, ZERO, body, exit);
+    b.at(exit).halt();
+    prog.finalize();
+    ReachingDefs rd(prog.function());
+
+    // At the top of body, both the entry def and the loop def reach.
+    auto scan = rd.scan(body);
+    std::vector<int> defs;
+    scan.reachingDefs(T0, defs);
+    EXPECT_EQ(defs.size(), 2u);
+}
+
+TEST(ReachingDefs, X0IsNeverDefined)
+{
+    Program prog("zero");
+    IRBuilder b(prog);
+    int e = b.newBlock();
+    b.at(e).add(ZERO, T0, T0).add(T1, ZERO, T0).halt();
+    prog.finalize();
+    ReachingDefs rd(prog.function());
+
+    auto scan = rd.scan(e);
+    scan.advance();
+    std::vector<int> defs;
+    scan.reachingDefs(ZERO, defs);
+    EXPECT_TRUE(defs.empty());
+}
+
+TEST(ReachingDefs, DefIdAtMatchesSites)
+{
+    Program prog("ids");
+    IRBuilder b(prog);
+    int e = b.newBlock();
+    b.at(e).li(T0, 1).nop().li(T1, 2).halt();
+    prog.finalize();
+    ReachingDefs rd(prog.function());
+    EXPECT_GE(rd.defIdAt(e, 0), 0);
+    EXPECT_EQ(rd.defIdAt(e, 1), -1); // nop defines nothing
+    EXPECT_GE(rd.defIdAt(e, 2), 0);
+    EXPECT_EQ(rd.numDefs(), 2);
+}
+
+/** @name mayAlias @{ */
+
+Instruction
+memInst(Opcode op, Reg base, int64_t off, AliasRegion region)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.rs1 = base;
+    inst.imm = off;
+    inst.aliasRegion = region;
+    if (isLoad(op))
+        inst.rd = T0;
+    else
+        inst.rs2 = T0;
+    return inst;
+}
+
+TEST(MayAlias, DisjointStackSlots)
+{
+    Instruction a = memInst(Opcode::SW, REG_SP, -20, 0);
+    Instruction b = memInst(Opcode::LW, REG_SP, -24, 0);
+    EXPECT_FALSE(mayAlias(a, b));
+}
+
+TEST(MayAlias, SameStackSlot)
+{
+    Instruction a = memInst(Opcode::SW, REG_SP, -20, 0);
+    Instruction b = memInst(Opcode::LW, REG_SP, -20, 0);
+    EXPECT_TRUE(mayAlias(a, b));
+}
+
+TEST(MayAlias, PartialOverlapOnStack)
+{
+    Instruction a = memInst(Opcode::SD, REG_SP, -24, 0); // [-24,-16)
+    Instruction b = memInst(Opcode::LW, REG_SP, -20, 0); // [-20,-16)
+    EXPECT_TRUE(mayAlias(a, b));
+}
+
+TEST(MayAlias, DistinctRegionsDontAlias)
+{
+    Instruction a = memInst(Opcode::SW, T1, 0, 1);
+    Instruction b = memInst(Opcode::LW, T2, 0, 2);
+    EXPECT_FALSE(mayAlias(a, b));
+}
+
+TEST(MayAlias, SameRegionAliases)
+{
+    Instruction a = memInst(Opcode::SW, T1, 0, 3);
+    Instruction b = memInst(Opcode::LW, T2, 64, 3);
+    EXPECT_TRUE(mayAlias(a, b));
+}
+
+TEST(MayAlias, UnknownAliasesEverything)
+{
+    Instruction a = memInst(Opcode::SW, T1, 0, ALIAS_UNKNOWN);
+    Instruction b = memInst(Opcode::LW, T2, 0, 7);
+    Instruction c = memInst(Opcode::LW, REG_SP, -8, 0);
+    EXPECT_TRUE(mayAlias(a, b));
+    EXPECT_TRUE(mayAlias(a, c));
+}
+
+TEST(MayAlias, StackNeverAliasesHeapRegion)
+{
+    Instruction a = memInst(Opcode::SW, REG_SP, -8, 0);
+    Instruction b = memInst(Opcode::LW, T2, 0, 5);
+    EXPECT_FALSE(mayAlias(a, b));
+}
+
+TEST(MayAlias, NonMemoryNeverAliases)
+{
+    Instruction a;
+    a.op = Opcode::ADD;
+    Instruction b = memInst(Opcode::LW, T2, 0, ALIAS_UNKNOWN);
+    EXPECT_FALSE(mayAlias(a, b));
+}
+
+/** @} */
+
+} // namespace
+} // namespace noreba
