@@ -37,37 +37,56 @@ main()
     const int robSizes[] = {224, 128};
     const int numCqs[] = {1, 2, 4};
     const int entries[] = {4, 8, 16, 32};
+    const std::vector<std::string> workloads = sweepWorkloads();
 
+    // Whole sweep as one job list: per ROB size, the ideal baseline
+    // for every workload followed by every (numCqs x entries x
+    // workload) Selective ROB point.
+    std::vector<SweepJob> jobs;
     for (int rob : robSizes) {
-        std::printf("ROB' = %d entries\n", rob);
-        TextTable table;
-        table.setHeader({"config", "4-entry CQs", "8-entry CQs",
-                         "16-entry CQs", "32-entry CQs"});
-
-        // Ideal baseline per workload at this ROB size.
-        std::map<std::string, double> idealCycles;
-        for (const auto &name : sweepWorkloads()) {
+        for (const auto &name : workloads) {
             CoreConfig cfg = skylakeConfig();
             cfg.robEntries = rob;
             cfg.commitMode = CommitMode::IdealReconv;
-            idealCycles[name] = static_cast<double>(
-                simulate(cfg, bundleFor(name)).cycles);
+            jobs.push_back(job(name, cfg));
         }
-
         for (int nq : numCqs) {
-            std::vector<std::string> row{
-                std::to_string(nq) + " BR-CQ" + (nq > 1 ? "s" : "")};
             for (int ent : entries) {
-                Geomean geo;
-                for (const auto &name : sweepWorkloads()) {
+                for (const auto &name : workloads) {
                     CoreConfig cfg = skylakeConfig();
                     cfg.robEntries = rob;
                     cfg.commitMode = CommitMode::Noreba;
                     cfg.srob.numBrCqs = nq;
                     cfg.srob.brCqEntries = ent;
                     cfg.srob.prCqEntries = ent;
-                    CoreStats s = simulate(cfg, bundleFor(name));
-                    geo.sample(idealCycles[name] /
+                    jobs.push_back(job(name, cfg));
+                }
+            }
+        }
+    }
+    const std::vector<SweepResult> results = SweepRunner().run(jobs);
+
+    size_t next = 0;
+    for (int rob : robSizes) {
+        std::printf("ROB' = %d entries\n", rob);
+        TextTable table;
+        table.setHeader({"config", "4-entry CQs", "8-entry CQs",
+                         "16-entry CQs", "32-entry CQs"});
+
+        std::vector<double> idealCycles;
+        for (size_t w = 0; w < workloads.size(); ++w)
+            idealCycles.push_back(
+                static_cast<double>(results[next++].stats.cycles));
+
+        for (int nq : numCqs) {
+            std::vector<std::string> row{
+                std::to_string(nq) + " BR-CQ" + (nq > 1 ? "s" : "")};
+            for (int ent : entries) {
+                (void)ent;
+                Geomean geo;
+                for (size_t w = 0; w < workloads.size(); ++w) {
+                    const CoreStats &s = results[next++].stats;
+                    geo.sample(idealCycles[w] /
                                static_cast<double>(s.cycles));
                 }
                 row.push_back(fmtDouble(geo.value(), 3));
@@ -78,5 +97,6 @@ main()
     }
     std::printf("Expected shape: saturation around 2 BR-CQs x 8 "
                 "entries (paper: 99%% of ideal at 2x8)\n");
+    maybeWriteJson("fig09_cq_sweep_perf", results);
     return 0;
 }

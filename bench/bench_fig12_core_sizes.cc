@@ -21,38 +21,49 @@ main()
     table.setHeader({"core", "InO-C vs NHM InO-C",
                      "Noreba vs NHM InO-C", "Noreba vs own InO-C"});
 
-    // Per-workload NHM in-order baselines.
-    std::map<std::string, double> nhmBase;
-    for (const auto &name : selectedWorkloads()) {
-        CoreConfig cfg = nehalemConfig();
-        cfg.commitMode = CommitMode::InOrder;
-        nhmBase[name] =
-            static_cast<double>(simulate(cfg, bundleFor(name)).cycles);
-    }
+    const std::vector<std::string> workloads = selectedWorkloads();
+    const char *cores[] = {"NHM", "HSW", "SKL"};
 
-    for (const char *core : {"NHM", "HSW", "SKL"}) {
-        Geomean inoGeo, norebaGeo, ratioGeo;
-        for (const auto &name : selectedWorkloads()) {
+    // Per (core, workload): an InO-C and a Noreba job. The NHM InO-C
+    // runs double as the cross-core baseline.
+    std::vector<SweepJob> jobs;
+    for (const char *core : cores) {
+        for (const auto &name : workloads) {
             CoreConfig ino = configByName(core);
             ino.commitMode = CommitMode::InOrder;
-            CoreStats sIno = simulate(ino, bundleFor(name));
+            jobs.push_back(job(name, ino));
 
             CoreConfig nor = configByName(core);
             nor.commitMode = CommitMode::Noreba;
-            CoreStats sNor = simulate(nor, bundleFor(name));
+            jobs.push_back(job(name, nor));
+        }
+    }
+    const std::vector<SweepResult> results = SweepRunner().run(jobs);
 
-            inoGeo.sample(nhmBase[name] /
-                          static_cast<double>(sIno.cycles));
-            norebaGeo.sample(nhmBase[name] /
+    const size_t perCore = workloads.size() * 2;
+    for (size_t c = 0; c < 3; ++c) {
+        Geomean inoGeo, norebaGeo, ratioGeo;
+        for (size_t w = 0; w < workloads.size(); ++w) {
+            // NHM is the first core block, so its InO-C runs live at
+            // the sweep's front regardless of which core we report.
+            const CoreStats &nhm = results[w * 2].stats;
+            const CoreStats &sIno = results[c * perCore + w * 2].stats;
+            const CoreStats &sNor =
+                results[c * perCore + w * 2 + 1].stats;
+
+            double nhmCycles = static_cast<double>(nhm.cycles);
+            inoGeo.sample(nhmCycles / static_cast<double>(sIno.cycles));
+            norebaGeo.sample(nhmCycles /
                              static_cast<double>(sNor.cycles));
             ratioGeo.sample(speedup(sIno, sNor));
         }
-        table.addRow({core, fmtDouble(inoGeo.value(), 3),
+        table.addRow({cores[c], fmtDouble(inoGeo.value(), 3),
                       fmtDouble(norebaGeo.value(), 3),
                       fmtDouble(ratioGeo.value(), 3)});
     }
     std::printf("%s\n", table.render().c_str());
     std::printf("Expected shape: both columns grow with core size; "
                 "Noreba keeps its edge on every core\n");
+    maybeWriteJson("fig12_core_sizes", results);
     return 0;
 }

@@ -24,24 +24,31 @@ main()
                      "Noreba (width 4)"});
     Geomean geoWide, geoNoreba;
 
-    for (const auto &name : selectedWorkloads()) {
-        const TraceBundle &bundle = bundleFor(name);
+    const std::vector<std::string> workloads = selectedWorkloads();
+    std::vector<SweepJob> jobs;
+    for (const auto &name : workloads) {
         CoreConfig base = skylakeConfig();
         base.commitMode = CommitMode::InOrder;
-        CoreStats ino = simulate(base, bundle);
+        jobs.push_back(job(name, base));
 
         CoreConfig wide = skylakeConfig();
         wide.commitMode = CommitMode::InOrder;
         wide.commitWidth = 8;
-        double spWide = speedup(ino, simulate(wide, bundle));
-        geoWide.sample(spWide);
+        jobs.push_back(job(name, wide));
 
         CoreConfig nor = skylakeConfig();
         nor.commitMode = CommitMode::Noreba;
-        double spNor = speedup(ino, simulate(nor, bundle));
-        geoNoreba.sample(spNor);
+        jobs.push_back(job(name, nor));
+    }
+    const std::vector<SweepResult> results = SweepRunner().run(jobs);
 
-        table.addRow({name, fmtDouble(spWide, 3),
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        const CoreStats &ino = results[w * 3].stats;
+        double spWide = speedup(ino, results[w * 3 + 1].stats);
+        double spNor = speedup(ino, results[w * 3 + 2].stats);
+        geoWide.sample(spWide);
+        geoNoreba.sample(spNor);
+        table.addRow({workloads[w], fmtDouble(spWide, 3),
                       fmtDouble(spNor, 3)});
     }
     table.addRow({"geomean", fmtDouble(geoWide.value(), 3),
@@ -49,5 +56,6 @@ main()
     std::printf("%s\n", table.render().c_str());
     std::printf("Expected shape: doubling commit width barely moves "
                 "InO-C, while Noreba gains at the same width\n");
+    maybeWriteJson("fig15_commit_width", results);
     return 0;
 }

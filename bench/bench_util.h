@@ -9,23 +9,30 @@
  *
  * Environment knobs:
  *   NOREBA_TRACE_LEN   dynamic instructions per workload (default
- *                      250000)
- *   NOREBA_WORKLOADS   comma-separated subset of workload names
+ *                      250000); must be a positive integer
+ *   NOREBA_WORKLOADS   comma-separated subset of workload names; every
+ *                      name must exist in workloadRegistry()
+ *   NOREBA_JOBS        sweep worker threads (default: hardware cores)
+ *   NOREBA_JSON_DIR    when set, sweep benches also write a
+ *                      machine-readable BENCH_<name>.json there
  */
 
 #ifndef NOREBA_BENCH_BENCH_UTIL_H
 #define NOREBA_BENCH_BENCH_UTIL_H
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "common/json.h"
+#include "common/logging.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "power/power_model.h"
 #include "sim/runner.h"
+#include "sim/sweep.h"
 
 namespace noreba::benchutil {
 
@@ -33,12 +40,21 @@ inline uint64_t
 traceLen()
 {
     const char *env = std::getenv("NOREBA_TRACE_LEN");
-    uint64_t parsed = env ? std::strtoull(env, nullptr, 10) : 0;
-    // Unset, unparsable or zero all mean "the default".
-    return parsed ? parsed : 250000ull;
+    if (!env || !*env)
+        return 250000ull;
+    errno = 0;
+    char *end = nullptr;
+    long long parsed = std::strtoll(env, &end, 10);
+    fatal_if(errno != 0 || end == env || *end != '\0' || parsed <= 0,
+             "NOREBA_TRACE_LEN=\"%s\" is not a positive integer", env);
+    return static_cast<uint64_t>(parsed);
 }
 
-/** Selected workload names (honours NOREBA_WORKLOADS). */
+/**
+ * Selected workload names (honours NOREBA_WORKLOADS). Unknown names
+ * are fatal here, before any trace is built, instead of surfacing as a
+ * buildWorkload() failure deep into the sweep.
+ */
 inline std::vector<std::string>
 selectedWorkloads()
 {
@@ -58,6 +74,14 @@ selectedWorkloads()
             cur.push_back(*c);
         }
     }
+    const auto &registry = workloadRegistry();
+    for (const auto &name : out) {
+        bool known = false;
+        for (const auto &desc : registry)
+            known = known || desc.name == name;
+        fatal_if(!known, "NOREBA_WORKLOADS names unknown workload \"%s\"",
+                 name.c_str());
+    }
     return out;
 }
 
@@ -72,36 +96,57 @@ specWorkloads()
     return out;
 }
 
-/** Build (and cache per process) the trace bundle for one workload. */
+/** Bench-wide trace options: registry defaults at NOREBA_TRACE_LEN. */
+inline TraceOptions
+traceOptions(bool annotate = true, bool stripSetups = false)
+{
+    TraceOptions opts;
+    opts.maxDynInsts = traceLen();
+    opts.annotate = annotate;
+    opts.stripSetups = stripSetups;
+    return opts;
+}
+
+/**
+ * Build (and cache process-wide) the trace bundle for one workload.
+ * Backed by the sweep engine's shared, mutex-guarded cache, so benches
+ * that mix direct simulate() calls with SweepRunner sweeps build each
+ * trace once and parallel requests don't race.
+ */
 inline const TraceBundle &
 bundleFor(const std::string &name, bool annotate = true,
           bool stripSetups = false)
 {
-    struct Key
-    {
-        std::string name;
-        bool annotate;
-        bool strip;
-        bool operator<(const Key &o) const
-        {
-            if (name != o.name)
-                return name < o.name;
-            if (annotate != o.annotate)
-                return annotate < o.annotate;
-            return strip < o.strip;
-        }
-    };
-    static std::map<Key, TraceBundle> cache;
-    Key key{name, annotate, stripSetups};
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-        TraceOptions opts;
-        opts.maxDynInsts = traceLen();
-        opts.annotate = annotate;
-        opts.stripSetups = stripSetups;
-        it = cache.emplace(key, prepareTrace(name, opts)).first;
-    }
-    return it->second;
+    return globalBundleCache().get(name,
+                                   traceOptions(annotate, stripSetups));
+}
+
+/** A sweep job for one workload on one config, at bench trace length. */
+inline SweepJob
+job(const std::string &workload, const CoreConfig &cfg,
+    bool annotate = true, bool stripSetups = false)
+{
+    return SweepJob{workload, cfg, traceOptions(annotate, stripSetups)};
+}
+
+/**
+ * If NOREBA_JSON_DIR is set, dump the sweep's machine-readable record
+ * as <dir>/BENCH_<bench>.json: {"bench", "traceLen", "results": [...]}
+ * with one entry per job in sweep order (see sweepResultToJson).
+ */
+inline void
+maybeWriteJson(const char *bench, const std::vector<SweepResult> &results)
+{
+    const char *dir = std::getenv("NOREBA_JSON_DIR");
+    if (!dir || !*dir)
+        return;
+    JsonValue doc = JsonValue::object();
+    doc.set("bench", bench)
+        .set("traceLen", traceLen())
+        .set("results", sweepToJson(results));
+    std::string path = std::string(dir) + "/BENCH_" + bench + ".json";
+    writeJsonFile(path, doc);
+    std::printf("wrote %s (%zu records)\n", path.c_str(), results.size());
 }
 
 /** Header printed by every bench. */

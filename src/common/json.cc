@@ -1,0 +1,163 @@
+#include "common/json.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace noreba {
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+JsonValue &
+JsonValue::set(const std::string &key, JsonValue value)
+{
+    panic_if(kind_ != Kind::Object, "set() on a non-object JSON value");
+    for (auto &m : members_) {
+        if (m.first == key) {
+            m.second = std::move(value);
+            return *this;
+        }
+    }
+    members_.emplace_back(key, std::move(value));
+    return *this;
+}
+
+JsonValue &
+JsonValue::push(JsonValue value)
+{
+    panic_if(kind_ != Kind::Array, "push() on a non-array JSON value");
+    members_.emplace_back(std::string(), std::move(value));
+    return *this;
+}
+
+std::string
+JsonValue::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(static_cast<char>(c));
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+void
+JsonValue::dumpTo(std::string &out, int indent, int depth) const
+{
+    char buf[64];
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        return;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        return;
+      case Kind::Int:
+        std::snprintf(buf, sizeof(buf), "%" PRId64, int_);
+        out += buf;
+        return;
+      case Kind::Uint:
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, uint_);
+        out += buf;
+        return;
+      case Kind::Double:
+        // NaN/Inf are not representable in JSON; emit null like most
+        // serializers do.
+        if (!std::isfinite(double_)) {
+            out += "null";
+            return;
+        }
+        std::snprintf(buf, sizeof(buf), "%.17g", double_);
+        out += buf;
+        return;
+      case Kind::String:
+        out += escape(string_);
+        return;
+      case Kind::Array:
+      case Kind::Object:
+        break;
+    }
+
+    const bool object = kind_ == Kind::Object;
+    out.push_back(object ? '{' : '[');
+    const std::string pad =
+        indent > 0 ? "\n" + std::string(static_cast<size_t>(indent) *
+                                            (static_cast<size_t>(depth) + 1),
+                                        ' ')
+                   : "";
+    bool first = true;
+    for (const auto &m : members_) {
+        if (!first)
+            out.push_back(',');
+        first = false;
+        out += pad;
+        if (object) {
+            out += escape(m.first);
+            out += indent > 0 ? ": " : ":";
+        }
+        m.second.dumpTo(out, indent, depth + 1);
+    }
+    if (!first && indent > 0) {
+        out.push_back('\n');
+        out += std::string(
+            static_cast<size_t>(indent) * static_cast<size_t>(depth), ' ');
+    }
+    out.push_back(object ? '}' : ']');
+}
+
+void
+writeJsonFile(const std::string &path, const JsonValue &value)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    fatal_if(!f, "cannot open %s for writing", path.c_str());
+    std::string text = value.dump(2);
+    text.push_back('\n');
+    size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    int closeErr = std::fclose(f);
+    fatal_if(written != text.size() || closeErr != 0,
+             "short write to %s", path.c_str());
+}
+
+} // namespace noreba

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Minimal JSON construction for machine-readable bench output. Every
+ * sweep dumps a `BENCH_*.json`-style record (workload, config knobs,
+ * cycles, IPC, stall/structure counters) next to its human tables so
+ * downstream tooling never scrapes TextTable output.
+ *
+ * This is a writer only — no parsing — and deliberately tiny: objects
+ * and arrays hold values in insertion order, numbers are emitted with
+ * enough precision to round-trip, and strings are escaped per RFC 8259.
+ */
+
+#ifndef NOREBA_COMMON_JSON_H
+#define NOREBA_COMMON_JSON_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace noreba {
+
+/** One JSON value: null, bool, number, string, array or object. */
+class JsonValue
+{
+  public:
+    JsonValue() : kind_(Kind::Null) {}
+    JsonValue(bool v) : kind_(Kind::Bool), bool_(v) {}
+    JsonValue(double v) : kind_(Kind::Double), double_(v) {}
+    JsonValue(int v) : kind_(Kind::Int), int_(v) {}
+    JsonValue(int64_t v) : kind_(Kind::Int), int_(v) {}
+    JsonValue(uint64_t v) : kind_(Kind::Uint), uint_(v) {}
+    JsonValue(const char *v) : kind_(Kind::String), string_(v) {}
+    JsonValue(std::string v) : kind_(Kind::String), string_(std::move(v)) {}
+
+    /** Named constructors for the container kinds. */
+    static JsonValue object();
+    static JsonValue array();
+
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+
+    /** Set (or overwrite) a member. @pre isObject(). */
+    JsonValue &set(const std::string &key, JsonValue value);
+
+    /** Append an element. @pre isArray(). */
+    JsonValue &push(JsonValue value);
+
+    size_t size() const { return members_.size(); }
+
+    /** Serialize; @p indent > 0 pretty-prints with that many spaces. */
+    std::string dump(int indent = 0) const;
+
+    /** RFC 8259 string escaping (quotes included). */
+    static std::string escape(const std::string &s);
+
+  private:
+    enum class Kind { Null, Bool, Int, Uint, Double, String, Array, Object };
+
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_;
+    bool bool_ = false;
+    int64_t int_ = 0;
+    uint64_t uint_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    // Object members and array elements share storage; array entries
+    // carry empty keys.
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/** Write @p value to @p path (pretty-printed); fatal() on I/O failure. */
+void writeJsonFile(const std::string &path, const JsonValue &value);
+
+} // namespace noreba
+
+#endif // NOREBA_COMMON_JSON_H

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * A small fixed-size thread pool for embarrassingly parallel sweeps.
+ *
+ * Workers are spawned once at construction and joined at destruction;
+ * submitted tasks run in FIFO order across however many threads the
+ * pool owns. A pool of size one degenerates to deferred serial
+ * execution (tasks run on the single worker in submission order), so
+ * callers get identical scheduling semantics at every width.
+ */
+
+#ifndef NOREBA_COMMON_THREAD_POOL_H
+#define NOREBA_COMMON_THREAD_POOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace noreba {
+
+class ThreadPool
+{
+  public:
+    /** Spawn @p numThreads workers. @pre numThreads >= 1. */
+    explicit ThreadPool(unsigned numThreads)
+    {
+        if (numThreads < 1)
+            numThreads = 1;
+        workers_.reserve(numThreads);
+        for (unsigned i = 0; i < numThreads; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        wake_.notify_all();
+        for (auto &w : workers_)
+            w.join();
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one task; it may begin running immediately. */
+    void
+    submit(std::function<void()> task)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.push_back(std::move(task));
+        }
+        wake_.notify_one();
+    }
+
+    /** Block until every submitted task has finished running. */
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        idle_.wait(lock,
+                   [this] { return queue_.empty() && running_ == 0; });
+    }
+
+    size_t size() const { return workers_.size(); }
+
+  private:
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                wake_.wait(lock, [this] {
+                    return stopping_ || !queue_.empty();
+                });
+                if (stopping_ && queue_.empty())
+                    return;
+                task = std::move(queue_.front());
+                queue_.pop_front();
+                ++running_;
+            }
+            task();
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                --running_;
+                if (queue_.empty() && running_ == 0)
+                    idle_.notify_all();
+            }
+        }
+    }
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable idle_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    unsigned running_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace noreba
+
+#endif // NOREBA_COMMON_THREAD_POOL_H

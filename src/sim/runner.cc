@@ -7,8 +7,6 @@
 
 namespace noreba {
 
-namespace {
-
 /**
  * Remove setup records, remapping every guardIdx to the stripped
  * numbering. Guards always reference non-setup records (branches), so
@@ -46,8 +44,6 @@ stripSetupRecords(const DynamicTrace &in)
     }
     return out;
 }
-
-} // namespace
 
 TraceBundle
 prepareTrace(const std::string &workload, const TraceOptions &opts)

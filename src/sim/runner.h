@@ -50,6 +50,13 @@ struct TraceOptions
 TraceBundle prepareTrace(const std::string &workload,
                          const TraceOptions &opts = {});
 
+/**
+ * Remove setup records from a trace, remapping every guardIdx to the
+ * stripped numbering (TraceOptions::stripSetups uses this; exposed for
+ * direct use and testing).
+ */
+DynamicTrace stripSetupRecords(const DynamicTrace &in);
+
 /** Simulate a prepared bundle on one core configuration. */
 CoreStats simulate(const CoreConfig &cfg, const TraceBundle &bundle);
 

@@ -1,0 +1,201 @@
+#include "sim/sweep.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace noreba {
+
+const TraceBundle &
+BundleCache::get(const std::string &workload, const TraceOptions &opts)
+{
+    Key key{workload,     opts.params.seed, opts.params.scale,
+            opts.maxDynInsts, opts.annotate,    opts.stripSetups};
+    Entry *entry;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto &slot = entries_[key];
+        if (!slot)
+            slot = std::make_unique<Entry>();
+        entry = slot.get();
+    }
+    // Build outside the map lock so unrelated bundles prepare in
+    // parallel; call_once blocks only the threads that want this one.
+    std::call_once(entry->once, [&] {
+        entry->bundle = prepareTrace(workload, opts);
+    });
+    return entry->bundle;
+}
+
+size_t
+BundleCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+BundleCache &
+globalBundleCache()
+{
+    static BundleCache cache;
+    return cache;
+}
+
+SweepRunner::SweepRunner(unsigned numThreads, BundleCache *cache)
+    : numThreads_(numThreads ? numThreads : jobsFromEnv()), cache_(cache)
+{
+}
+
+unsigned
+SweepRunner::jobsFromEnv()
+{
+    const char *env = std::getenv("NOREBA_JOBS");
+    if (!env || !*env) {
+        unsigned hw = std::thread::hardware_concurrency();
+        return hw ? hw : 1;
+    }
+    errno = 0;
+    char *end = nullptr;
+    long parsed = std::strtol(env, &end, 10);
+    fatal_if(errno != 0 || end == env || *end != '\0' || parsed < 1,
+             "NOREBA_JOBS=\"%s\" is not a positive integer", env);
+    return static_cast<unsigned>(parsed);
+}
+
+std::vector<SweepResult>
+SweepRunner::run(const std::vector<SweepJob> &jobs)
+{
+    std::vector<SweepResult> results(jobs.size());
+    auto runJob = [&](size_t i) {
+        const SweepJob &job = jobs[i];
+        const TraceBundle &bundle = cache_->get(job.workload, job.trace);
+        results[i].job = job;
+        results[i].stats = simulate(job.cfg, bundle);
+    };
+
+    if (numThreads_ <= 1 || jobs.size() <= 1) {
+        for (size_t i = 0; i < jobs.size(); ++i)
+            runJob(i);
+        return results;
+    }
+
+    ThreadPool pool(numThreads_);
+    for (size_t i = 0; i < jobs.size(); ++i)
+        pool.submit([&runJob, i] { runJob(i); });
+    pool.wait();
+    return results;
+}
+
+JsonValue
+configToJson(const CoreConfig &cfg)
+{
+    JsonValue srob = JsonValue::object();
+    srob.set("numBrCqs", cfg.srob.numBrCqs)
+        .set("brCqEntries", cfg.srob.brCqEntries)
+        .set("prCqEntries", cfg.srob.prCqEntries)
+        .set("bitEntries", cfg.srob.bitEntries)
+        .set("cqtEntries", cfg.srob.cqtEntries)
+        .set("citEntries", cfg.srob.citEntries)
+        .set("enforceInstanceOrder", cfg.srob.enforceInstanceOrder);
+
+    JsonValue out = JsonValue::object();
+    out.set("name", cfg.name)
+        .set("commitMode", commitModeName(cfg.commitMode))
+        .set("fetchWidth", cfg.fetchWidth)
+        .set("decodeWidth", cfg.decodeWidth)
+        .set("dispatchWidth", cfg.dispatchWidth)
+        .set("issueWidth", cfg.issueWidth)
+        .set("commitWidth", cfg.commitWidth)
+        .set("steerWidth", cfg.steerWidth)
+        .set("robEntries", cfg.robEntries)
+        .set("iqEntries", cfg.iqEntries)
+        .set("lqEntries", cfg.lqEntries)
+        .set("sqEntries", cfg.sqEntries)
+        .set("rfEntries", cfg.rfEntries)
+        .set("dramLatency", cfg.dramLatency)
+        .set("prefetcher", cfg.prefetcher)
+        .set("earlyCommitLoads", cfg.earlyCommitLoads)
+        .set("srob", std::move(srob));
+    return out;
+}
+
+JsonValue
+statsToJson(const CoreStats &s)
+{
+    JsonValue out = JsonValue::object();
+    out.set("cycles", s.cycles)
+        .set("committedInsts", s.committedInsts)
+        .set("ipc", s.ipc())
+        .set("committedOoO", s.committedOoO)
+        .set("committedAhead", s.committedAhead)
+        .set("oooCommitFraction", s.oooCommitFraction())
+        .set("fetched", s.fetched)
+        .set("setupFetched", s.setupFetched)
+        .set("citDrops", s.citDrops)
+        .set("icacheStallCycles", s.icacheStallCycles)
+        .set("branches", s.branches)
+        .set("mispredicts", s.mispredicts)
+        .set("squashes", s.squashes)
+        .set("squashedInsts", s.squashedInsts)
+        .set("dispatched", s.dispatched)
+        .set("issued", s.issued)
+        .set("windowFullCycles", s.windowFullCycles)
+        .set("commitHeadBranchStall", s.commitHeadBranchStall)
+        .set("commitHeadLoadStall", s.commitHeadLoadStall)
+        .set("steerStallCycles", s.steerStallCycles)
+        .set("steerStallTlb", s.steerStallTlb)
+        .set("steerStallCqt", s.steerStallCqt)
+        .set("steerStallCqFull", s.steerStallCqFull)
+        .set("citFullStalls", s.citFullStalls)
+        .set("rfReads", s.rfReads)
+        .set("rfWrites", s.rfWrites)
+        .set("iqWrites", s.iqWrites)
+        .set("iqWakeups", s.iqWakeups)
+        .set("robWrites", s.robWrites)
+        .set("robReads", s.robReads)
+        .set("lsqOps", s.lsqOps)
+        .set("bpredLookups", s.bpredLookups)
+        .set("icacheAccesses", s.icacheAccesses)
+        .set("dcacheAccesses", s.dcacheAccesses)
+        .set("l2Accesses", s.l2Accesses)
+        .set("l3Accesses", s.l3Accesses)
+        .set("intAluOps", s.intAluOps)
+        .set("fpAluOps", s.fpAluOps)
+        .set("cmplxAluOps", s.cmplxAluOps)
+        .set("renameOps", s.renameOps)
+        .set("cdbBroadcasts", s.cdbBroadcasts)
+        .set("bitOps", s.bitOps)
+        .set("dctOps", s.dctOps)
+        .set("cqtOps", s.cqtOps)
+        .set("citOps", s.citOps)
+        .set("cqOps", s.cqOps);
+    return out;
+}
+
+JsonValue
+sweepResultToJson(const SweepResult &r)
+{
+    JsonValue out = JsonValue::object();
+    out.set("workload", r.job.workload)
+        .set("traceLen", r.job.trace.maxDynInsts)
+        .set("annotate", r.job.trace.annotate)
+        .set("stripSetups", r.job.trace.stripSetups)
+        .set("config", configToJson(r.job.cfg))
+        .set("stats", statsToJson(r.stats));
+    return out;
+}
+
+JsonValue
+sweepToJson(const std::vector<SweepResult> &results)
+{
+    JsonValue arr = JsonValue::array();
+    for (const auto &r : results)
+        arr.push(sweepResultToJson(r));
+    return arr;
+}
+
+} // namespace noreba

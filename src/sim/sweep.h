@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Parallel simulation sweeps. Every figure/table bench replays hundreds
+ * of (workload x config) simulations; they are mutually independent and
+ * share nothing but the per-workload TraceBundle, which Core reads by
+ * const reference. SweepRunner exploits that shape: it builds each
+ * bundle exactly once in a shared, mutex-guarded cache, fans the jobs
+ * out across a fixed-size thread pool (NOREBA_JOBS threads), and
+ * returns the results in deterministic submission order — a parallel
+ * sweep is bit-identical to the serial one, just faster.
+ */
+
+#ifndef NOREBA_SIM_SWEEP_H
+#define NOREBA_SIM_SWEEP_H
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/json.h"
+#include "sim/runner.h"
+
+namespace noreba {
+
+/** One simulation: a workload (trace options included) on one config. */
+struct SweepJob
+{
+    std::string workload;
+    CoreConfig cfg;
+    TraceOptions trace;
+};
+
+/** The job echoed back with its simulation outcome. */
+struct SweepResult
+{
+    SweepJob job;
+    CoreStats stats;
+};
+
+/**
+ * Shared trace-bundle cache. Bundles are keyed by everything that
+ * shapes the trace (workload, generation params, length, annotation,
+ * setup stripping); each is built exactly once even when many threads
+ * request it concurrently, and the returned reference stays valid for
+ * the cache's lifetime.
+ */
+class BundleCache
+{
+  public:
+    const TraceBundle &get(const std::string &workload,
+                           const TraceOptions &opts = {});
+
+    /** Number of distinct bundles built so far. */
+    size_t size() const;
+
+  private:
+    struct Key
+    {
+        std::string workload;
+        uint64_t seed;
+        double scale;
+        uint64_t maxDynInsts;
+        bool annotate;
+        bool stripSetups;
+
+        bool
+        operator<(const Key &o) const
+        {
+            return std::tie(workload, seed, scale, maxDynInsts, annotate,
+                            stripSetups) <
+                   std::tie(o.workload, o.seed, o.scale, o.maxDynInsts,
+                            o.annotate, o.stripSetups);
+        }
+    };
+
+    struct Entry
+    {
+        std::once_flag once;
+        TraceBundle bundle;
+    };
+
+    mutable std::mutex mutex_;
+    std::map<Key, std::unique_ptr<Entry>> entries_;
+};
+
+/** The process-wide cache every sweep (and bench) shares. */
+BundleCache &globalBundleCache();
+
+/** Execute sweeps over a fixed-size thread pool. */
+class SweepRunner
+{
+  public:
+    /**
+     * @param numThreads  Worker count; 0 means "use jobsFromEnv()".
+     * @param cache       Bundle cache to share; defaults to the global
+     *                    one so independent sweeps reuse traces.
+     */
+    explicit SweepRunner(unsigned numThreads = 0,
+                         BundleCache *cache = &globalBundleCache());
+
+    /**
+     * Run every job and return results in submission order. Job i's
+     * result is always at index i regardless of which thread ran it or
+     * when it finished.
+     */
+    std::vector<SweepResult> run(const std::vector<SweepJob> &jobs);
+
+    unsigned numThreads() const { return numThreads_; }
+
+    /**
+     * Worker count from NOREBA_JOBS: unset or empty means one thread
+     * per hardware core; anything that is not a positive integer is
+     * fatal().
+     */
+    static unsigned jobsFromEnv();
+
+  private:
+    unsigned numThreads_;
+    BundleCache *cache_;
+};
+
+/** @name JSON records (BENCH_*.json emission) @{ */
+JsonValue configToJson(const CoreConfig &cfg);
+JsonValue statsToJson(const CoreStats &stats);
+JsonValue sweepResultToJson(const SweepResult &result);
+/** Array of sweepResultToJson records, in sweep order. */
+JsonValue sweepToJson(const std::vector<SweepResult> &results);
+/** @} */
+
+} // namespace noreba
+
+#endif // NOREBA_SIM_SWEEP_H

@@ -24,6 +24,7 @@
  * Committed branches remove their CQT entry.
  */
 
+#include <algorithm>
 #include <deque>
 #include <map>
 #include <set>
@@ -41,6 +42,8 @@ class NorebaCommit : public CommitPolicy
     explicit NorebaCommit(const CoreConfig &cfg) : srob_(cfg.srob)
     {
         brCqs_.resize(static_cast<size_t>(srob_.numBrCqs));
+        // +1: slot 0 tracks the PR-CQ, slots 1..numBrCqs the BR-CQs.
+        blocked_.resize(1 + brCqs_.size());
     }
 
     void
@@ -139,14 +142,13 @@ class NorebaCommit : public CommitPolicy
     {
         int budget = core.config().commitWidth;
         const int nq = static_cast<int>(brCqs_.size());
-        bool blocked[1 + 16] = {};
-        panic_if(nq > 16, "too many BR-CQs");
+        std::fill(blocked_.begin(), blocked_.end(), 0);
 
         while (budget > 0) {
             InFlight *best = nullptr;
             int bestCq = -2;
             for (int cq = -1; cq < nq; ++cq) {
-                if (blocked[cq + 1])
+                if (blocked_[static_cast<size_t>(cq + 1)])
                     continue;
                 auto &q = queueOf(cq);
                 if (q.empty())
@@ -173,7 +175,7 @@ class NorebaCommit : public CommitPolicy
             if (best->idx > core.oldestUncommitted()) {
                 if (citLive_ >= srob_.citEntries) {
                     ++core.stats().citFullStalls;
-                    blocked[bestCq + 1] = true;
+                    blocked_[static_cast<size_t>(bestCq + 1)] = 1;
                     continue;
                 }
                 TraceIdx guard = core.youngestUnresolvedBefore(best->idx);
@@ -337,6 +339,8 @@ class NorebaCommit : public CommitPolicy
     std::map<TraceIdx, int> cqt_;      //!< live branch -> commit queue
     std::map<TraceIdx, int> citByGuard_; //!< CIT entries per guard branch
     int citLive_ = 0;
+    /** Per-cycle CIT-stall block flags, [0] = PR-CQ, [1+i] = BR-CQ i. */
+    std::vector<char> blocked_;
 };
 
 std::unique_ptr<CommitPolicy>

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Tests for the parallel sweep engine: the thread pool, the shared
+ * bundle cache, serial/parallel bit-identity across every commit mode,
+ * the JSON emitter, the numBrCqs > 16 regression, and the
+ * stripSetupRecords guard-index remap.
+ */
+
+#include <atomic>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/thread_pool.h"
+#include "sim/sweep.h"
+#include "test_util.h"
+
+using namespace noreba;
+
+namespace {
+
+// Short traces keep the full-mode cross product fast.
+constexpr uint64_t TEST_TRACE_LEN = 20000;
+
+TraceOptions
+shortTrace()
+{
+    TraceOptions opts;
+    opts.maxDynInsts = TEST_TRACE_LEN;
+    return opts;
+}
+
+/** Every scalar field of CoreStats, for bit-identity comparisons. */
+std::vector<uint64_t>
+statsFingerprint(const CoreStats &s)
+{
+    return {s.cycles,         s.committedInsts,  s.committedOoO,
+            s.committedAhead, s.fetched,         s.setupFetched,
+            s.citDrops,       s.icacheStallCycles, s.branches,
+            s.mispredicts,    s.squashes,        s.squashedInsts,
+            s.dispatched,     s.issued,          s.windowFullCycles,
+            s.commitHeadBranchStall, s.commitHeadLoadStall,
+            s.steerStallCycles, s.steerStallTlb, s.steerStallCqt,
+            s.steerStallCqFull, s.citFullStalls, s.rfReads,
+            s.rfWrites,       s.iqWrites,        s.iqWakeups,
+            s.robWrites,      s.robReads,        s.lsqOps,
+            s.bpredLookups,   s.icacheAccesses,  s.dcacheAccesses,
+            s.l2Accesses,     s.l3Accesses,      s.intAluOps,
+            s.fpAluOps,       s.cmplxAluOps,     s.renameOps,
+            s.cdbBroadcasts,  s.bitOps,          s.dctOps,
+            s.cqtOps,         s.citOps,          s.cqOps};
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusableAcrossBatches)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 11);
+}
+
+TEST(Json, ScalarsAndEscaping)
+{
+    EXPECT_EQ(JsonValue(uint64_t{42}).dump(), "42");
+    EXPECT_EQ(JsonValue(-7).dump(), "-7");
+    EXPECT_EQ(JsonValue(true).dump(), "true");
+    EXPECT_EQ(JsonValue().dump(), "null");
+    EXPECT_EQ(JsonValue(1.5).dump(), "1.5");
+    EXPECT_EQ(JsonValue("a\"b\\c\n").dump(), "\"a\\\"b\\\\c\\n\"");
+    EXPECT_EQ(JsonValue(std::string(1, '\x01')).dump(), "\"\\u0001\"");
+}
+
+TEST(Json, ObjectsKeepInsertionOrderAndOverwrite)
+{
+    JsonValue obj = JsonValue::object();
+    obj.set("b", 1).set("a", 2).set("b", 3);
+    EXPECT_EQ(obj.dump(), "{\"b\":3,\"a\":2}");
+
+    JsonValue arr = JsonValue::array();
+    arr.push("x").push(JsonValue::object());
+    EXPECT_EQ(arr.dump(), "[\"x\",{}]");
+    EXPECT_EQ(arr.size(), 2u);
+}
+
+TEST(Json, PrettyPrintIndents)
+{
+    JsonValue obj = JsonValue::object();
+    obj.set("k", JsonValue::array());
+    EXPECT_EQ(obj.dump(2), "{\n  \"k\": []\n}");
+}
+
+TEST(BundleCache, SameKeyReturnsSameBundleOnce)
+{
+    BundleCache cache;
+    const TraceBundle &a = cache.get("CRC32", shortTrace());
+    const TraceBundle &b = cache.get("CRC32", shortTrace());
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(cache.size(), 1u);
+
+    TraceOptions stripped = shortTrace();
+    stripped.stripSetups = true;
+    const TraceBundle &c = cache.get("CRC32", stripped);
+    EXPECT_NE(&a, &c);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(BundleCache, ConcurrentGetBuildsOnce)
+{
+    BundleCache cache;
+    std::atomic<const TraceBundle *> seen{nullptr};
+    std::atomic<bool> mismatch{false};
+    ThreadPool pool(8);
+    for (int i = 0; i < 32; ++i) {
+        pool.submit([&] {
+            const TraceBundle &b = cache.get("CRC32", shortTrace());
+            const TraceBundle *expected = nullptr;
+            if (!seen.compare_exchange_strong(expected, &b) &&
+                expected != &b)
+                mismatch = true;
+        });
+    }
+    pool.wait();
+    EXPECT_FALSE(mismatch.load());
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SweepRunner, ParallelMatchesSerialForEveryCommitMode)
+{
+    const CommitMode modes[] = {
+        CommitMode::InOrder,       CommitMode::NonSpecOoO,
+        CommitMode::Noreba,        CommitMode::IdealReconv,
+        CommitMode::SpeculativeBR, CommitMode::SpeculativeFull,
+        CommitMode::ValidationBuffer,
+    };
+    std::vector<SweepJob> jobs;
+    for (const char *workload : {"CRC32", "mcf"}) {
+        for (CommitMode mode : modes) {
+            CoreConfig cfg = skylakeConfig();
+            cfg.commitMode = mode;
+            jobs.push_back(SweepJob{workload, cfg, shortTrace()});
+        }
+    }
+
+    // Separate caches so the parallel run also re-builds its bundles
+    // under contention rather than inheriting the serial run's.
+    BundleCache serialCache, parallelCache;
+    auto serial = SweepRunner(1, &serialCache).run(jobs);
+    auto parallel = SweepRunner(8, &parallelCache).run(jobs);
+
+    ASSERT_EQ(serial.size(), jobs.size());
+    ASSERT_EQ(parallel.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(statsFingerprint(serial[i].stats),
+                  statsFingerprint(parallel[i].stats))
+            << "job " << i << " (" << jobs[i].workload << ", "
+            << commitModeName(jobs[i].cfg.commitMode) << ")";
+        EXPECT_EQ(serial[i].job.workload, jobs[i].workload);
+    }
+}
+
+TEST(SweepRunner, ResultsFollowSubmissionOrder)
+{
+    std::vector<SweepJob> jobs;
+    for (int width : {1, 2, 4, 8}) {
+        CoreConfig cfg = skylakeConfig();
+        cfg.commitMode = CommitMode::InOrder;
+        cfg.commitWidth = width;
+        jobs.push_back(SweepJob{"CRC32", cfg, shortTrace()});
+    }
+    BundleCache cache;
+    auto results = SweepRunner(4, &cache).run(jobs);
+    ASSERT_EQ(results.size(), 4u);
+    for (size_t i = 0; i < results.size(); ++i)
+        EXPECT_EQ(results[i].job.cfg.commitWidth,
+                  jobs[i].cfg.commitWidth);
+    // Narrower commit cannot be faster than wider on the same trace.
+    EXPECT_GE(results[0].stats.cycles, results[3].stats.cycles);
+}
+
+TEST(SweepRunner, JsonRecordCarriesConfigAndStats)
+{
+    CoreConfig cfg = skylakeConfig();
+    cfg.commitMode = CommitMode::Noreba;
+    BundleCache cache;
+    auto results =
+        SweepRunner(1, &cache).run({SweepJob{"CRC32", cfg, shortTrace()}});
+    ASSERT_EQ(results.size(), 1u);
+
+    JsonValue doc = sweepToJson(results);
+    std::string text = doc.dump();
+    EXPECT_NE(text.find("\"workload\":\"CRC32\""), std::string::npos);
+    EXPECT_NE(text.find("\"commitMode\":\"Noreba\""), std::string::npos);
+    EXPECT_NE(text.find("\"cycles\":"), std::string::npos);
+    EXPECT_NE(text.find("\"ipc\":"), std::string::npos);
+    EXPECT_NE(text.find("\"steerStallCycles\":"), std::string::npos);
+}
+
+TEST(SweepRunner, JobsFromEnvRejectsGarbage)
+{
+    ASSERT_EQ(setenv("NOREBA_JOBS", "banana", 1), 0);
+    EXPECT_EXIT(SweepRunner::jobsFromEnv(),
+                ::testing::ExitedWithCode(1), "not a positive integer");
+    ASSERT_EQ(setenv("NOREBA_JOBS", "-3", 1), 0);
+    EXPECT_EXIT(SweepRunner::jobsFromEnv(),
+                ::testing::ExitedWithCode(1), "not a positive integer");
+    ASSERT_EQ(setenv("NOREBA_JOBS", "3", 1), 0);
+    EXPECT_EQ(SweepRunner::jobsFromEnv(), 3u);
+    ASSERT_EQ(unsetenv("NOREBA_JOBS"), 0);
+}
+
+// Regression: commitFromQueues used a fixed blocked[1 + 16] scratch
+// array and panicked on more than 16 BR-CQs, capping CQ-count sweeps.
+TEST(NorebaCommit, MoreThanSixteenBrCqsSimulate)
+{
+    Program prog = testutil::delinquentLoop(800);
+    testutil::Prepared p = testutil::prepare(prog);
+
+    CoreConfig base = skylakeConfig();
+    base.srob.numBrCqs = 2;
+    CoreStats narrow = testutil::run(p, CommitMode::Noreba, base);
+
+    CoreConfig wideCfg = skylakeConfig();
+    wideCfg.srob.numBrCqs = 32;
+    CoreStats wide = testutil::run(p, CommitMode::Noreba, wideCfg);
+
+    EXPECT_EQ(wide.committedInsts, narrow.committedInsts);
+    EXPECT_GT(wide.cycles, 0u);
+}
+
+TEST(StripSetupRecords, RemapsGuardIndices)
+{
+    DynamicTrace in;
+    in.name = "synthetic";
+    in.dynInsts = 4;
+    in.setupInsts = 2;
+
+    auto rec = [](Opcode op, TraceIdx guard) {
+        TraceRecord r;
+        r.op = op;
+        r.guardIdx = guard;
+        return r;
+    };
+    in.records = {
+        rec(Opcode::ADD, TRACE_NONE),           // 0 -> 0
+        rec(Opcode::SET_BRANCH_ID, TRACE_NONE), // 1 -> dropped
+        rec(Opcode::BEQ, TRACE_NONE),           // 2 -> 1
+        rec(Opcode::SET_DEPENDENCY, TRACE_NONE),// 3 -> dropped
+        rec(Opcode::ADD, 2),                    // 4 -> 2, guard 2 -> 1
+        rec(Opcode::ADD, TRACE_NONE),           // 5 -> 3
+    };
+
+    DynamicTrace out = stripSetupRecords(in);
+    ASSERT_EQ(out.records.size(), 4u);
+    EXPECT_EQ(out.setupInsts, 0u);
+    EXPECT_EQ(out.dynInsts, in.dynInsts);
+    EXPECT_EQ(out.records[0].op, Opcode::ADD);
+    EXPECT_EQ(out.records[1].op, Opcode::BEQ);
+    EXPECT_EQ(out.records[0].guardIdx, TRACE_NONE);
+    EXPECT_EQ(out.records[2].guardIdx, 1);
+    EXPECT_EQ(out.records[3].guardIdx, TRACE_NONE);
+}
+
+TEST(StripSetupRecords, RoundTripsThroughPrepareTrace)
+{
+    TraceOptions stripped = shortTrace();
+    stripped.stripSetups = true;
+    TraceBundle bundle = prepareTrace("CRC32", stripped);
+    ASSERT_GT(bundle.trace.size(), 0u);
+    for (size_t i = 0; i < bundle.trace.size(); ++i) {
+        const TraceRecord &r = bundle.trace.records[i];
+        EXPECT_FALSE(r.isSetup());
+        if (r.guardIdx < 0)
+            continue;
+        ASSERT_LT(static_cast<size_t>(r.guardIdx), bundle.trace.size());
+        // Guards reference branch instances, and FIFO steering means
+        // they precede their dependents.
+        EXPECT_TRUE(bundle.trace.records[static_cast<size_t>(r.guardIdx)]
+                        .isBranchSite());
+        EXPECT_LT(static_cast<size_t>(r.guardIdx), i);
+    }
+}
+
+} // namespace
