@@ -38,15 +38,15 @@ geomeanFor(const std::function<void(CoreConfig &)> &tweak)
 {
     Geomean geo;
     for (const auto &name : subset()) {
-        const TraceBundle &bundle = bundleFor(name);
+        const auto bundle = bundleFor(name);
         CoreConfig ino = skylakeConfig();
         ino.commitMode = CommitMode::InOrder;
-        CoreStats base = simulate(ino, bundle);
+        CoreStats base = simulate(ino, *bundle);
 
         CoreConfig cfg = skylakeConfig();
         cfg.commitMode = CommitMode::Noreba;
         tweak(cfg);
-        geo.sample(speedup(base, simulate(cfg, bundle)));
+        geo.sample(speedup(base, simulate(cfg, *bundle)));
     }
     return geo.value();
 }
@@ -111,13 +111,13 @@ main()
           CommitMode::IdealReconv, CommitMode::SpeculativeBR}) {
         Geomean geo;
         for (const auto &name : subset()) {
-            const TraceBundle &bundle = bundleFor(name);
+            const auto bundle = bundleFor(name);
             CoreConfig ino = skylakeConfig();
             ino.commitMode = CommitMode::InOrder;
-            CoreStats b = simulate(ino, bundle);
+            CoreStats b = simulate(ino, *bundle);
             CoreConfig cfg = skylakeConfig();
             cfg.commitMode = mode;
-            geo.sample(speedup(b, simulate(cfg, bundle)));
+            geo.sample(speedup(b, simulate(cfg, *bundle)));
         }
         prior.addRow({commitModeName(mode),
                       fmtDouble(geo.value(), 3)});

@@ -32,16 +32,16 @@ main()
     std::map<CommitMode, Geomean> geo;
 
     for (const auto &name : specWorkloads()) {
-        const TraceBundle &bundle = bundleFor(name);
+        const auto bundle = bundleFor(name);
         CoreConfig base = skylakeConfig();
         base.commitMode = CommitMode::InOrder;
-        CoreStats ino = simulate(base, bundle);
+        CoreStats ino = simulate(base, *bundle);
 
         std::vector<std::string> row{name};
         for (CommitMode mode : modes) {
             CoreConfig cfg = skylakeConfig();
             cfg.commitMode = mode;
-            double sp = speedup(ino, simulate(cfg, bundle));
+            double sp = speedup(ino, simulate(cfg, *bundle));
             geo[mode].sample(sp);
             row.push_back(fmtDouble(sp, 3));
         }

@@ -20,11 +20,11 @@ namespace {
 void
 report(const char *name)
 {
-    const TraceBundle &bundle = bundleFor(name);
+    const auto bundle = bundleFor(name);
     CoreConfig cfg = skylakeConfig();
     cfg.commitMode = CommitMode::InOrder;
     cfg.attributeStalls = true;
-    CoreStats s = simulate(cfg, bundle);
+    CoreStats s = simulate(cfg, *bundle);
 
     std::printf("%s: per-static-branch scatter "
                 "(log10(dependents), log10(stall cycles))\n",

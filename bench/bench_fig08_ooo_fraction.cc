@@ -22,10 +22,10 @@ main()
     table.setHeader({"benchmark", "committed",
                      "past unresolved branch", "past in-order frontier"});
     for (const auto &name : selectedWorkloads()) {
-        const TraceBundle &bundle = bundleFor(name);
+        const auto bundle = bundleFor(name);
         CoreConfig cfg = skylakeConfig();
         cfg.commitMode = CommitMode::Noreba;
-        CoreStats s = simulate(cfg, bundle);
+        CoreStats s = simulate(cfg, *bundle);
         table.addRow({name, std::to_string(s.committedInsts),
                       fmtPercent(s.oooCommitFraction()),
                       fmtPercent(s.aheadCommitFraction())});

@@ -32,7 +32,7 @@ avgPower(int nq, int ent)
         cfg.srob.numBrCqs = nq;
         cfg.srob.brCqEntries = ent;
         cfg.srob.prCqEntries = ent;
-        CoreStats s = simulate(cfg, benchutil::bundleFor(name));
+        CoreStats s = simulate(cfg, *benchutil::bundleFor(name));
         geo.sample(computePower(cfg, s).totalWatts());
     }
     return geo.value();

@@ -24,26 +24,26 @@ main()
                      "perf overhead"});
     Geomean geo;
     for (const auto &name : selectedWorkloads()) {
-        const TraceBundle &with = bundleFor(name);
-        const TraceBundle &perfect =
+        const auto with = bundleFor(name);
+        const auto perfect =
             bundleFor(name, /*annotate=*/true, /*stripSetups=*/true);
 
         CoreConfig cfg = skylakeConfig();
         cfg.commitMode = CommitMode::Noreba;
-        CoreStats sWith = simulate(cfg, with);
-        CoreStats sPerf = simulate(cfg, perfect);
+        CoreStats sWith = simulate(cfg, *with);
+        CoreStats sPerf = simulate(cfg, *perfect);
 
+        const TraceSummary &sum = with->view().summary();
         double fetchOverhead =
-            with.trace.dynInsts
-                ? static_cast<double>(with.trace.setupInsts) /
-                      static_cast<double>(with.trace.dynInsts)
-                : 0.0;
+            sum.dynInsts ? static_cast<double>(sum.setupInsts) /
+                               static_cast<double>(sum.dynInsts)
+                         : 0.0;
         double perf = static_cast<double>(sWith.cycles) /
                           static_cast<double>(sPerf.cycles) -
                       1.0;
         geo.sample(static_cast<double>(sWith.cycles) /
                    static_cast<double>(sPerf.cycles));
-        table.addRow({name, std::to_string(with.trace.setupInsts),
+        table.addRow({name, std::to_string(sum.setupInsts),
                       fmtPercent(fetchOverhead),
                       std::to_string(sWith.cycles),
                       std::to_string(sPerf.cycles), fmtPercent(perf)});

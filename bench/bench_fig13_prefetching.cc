@@ -24,11 +24,11 @@ main()
     Geomean geo[4];
 
     for (const auto &name : selectedWorkloads()) {
-        const TraceBundle &bundle = bundleFor(name);
+        const auto bundle = bundleFor(name);
         CoreConfig base = nehalemConfig();
         base.commitMode = CommitMode::InOrder;
         base.prefetcher = true;
-        CoreStats ref = simulate(base, bundle);
+        CoreStats ref = simulate(base, *bundle);
 
         std::vector<std::string> row{name};
         int i = 0;
@@ -38,7 +38,7 @@ main()
                 CoreConfig cfg = nehalemConfig();
                 cfg.commitMode = mode;
                 cfg.prefetcher = pf;
-                double sp = speedup(ref, simulate(cfg, bundle));
+                double sp = speedup(ref, simulate(cfg, *bundle));
                 geo[i++].sample(sp);
                 row.push_back(fmtDouble(sp, 3));
             }

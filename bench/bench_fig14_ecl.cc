@@ -30,10 +30,10 @@ main()
     Geomean geo[3];
 
     for (const auto &name : selectedWorkloads()) {
-        const TraceBundle &bundle = bundleFor(name);
+        const auto bundle = bundleFor(name);
         CoreConfig base = skylakeConfig();
         base.commitMode = CommitMode::InOrder;
-        CoreStats ino = simulate(base, bundle);
+        CoreStats ino = simulate(base, *bundle);
 
         std::vector<std::string> row{name, "1.000"};
         int i = 0;
@@ -44,7 +44,7 @@ main()
             CoreConfig cfg = skylakeConfig();
             cfg.commitMode = mode;
             cfg.earlyCommitLoads = ecl;
-            double sp = speedup(ino, simulate(cfg, bundle));
+            double sp = speedup(ino, simulate(cfg, *bundle));
             geo[i++].sample(sp);
             row.push_back(fmtDouble(sp, 3));
         }

@@ -25,13 +25,13 @@ main()
     std::map<std::string, double> inoA, norA;
     int n = 0;
     for (const auto &name : selectedWorkloads()) {
-        const TraceBundle &bundle = bundleFor(name);
+        const auto bundle = bundleFor(name);
         CoreConfig ino = skylakeConfig();
         ino.commitMode = CommitMode::InOrder;
-        PowerBreakdown pbIno = computePower(ino, simulate(ino, bundle));
+        PowerBreakdown pbIno = computePower(ino, simulate(ino, *bundle));
         CoreConfig nor = skylakeConfig();
         nor.commitMode = CommitMode::Noreba;
-        PowerBreakdown pbNor = computePower(nor, simulate(nor, bundle));
+        PowerBreakdown pbNor = computePower(nor, simulate(nor, *bundle));
         for (const auto &s : powerStructureNames()) {
             inoW[s] += pbIno.watts.count(s) ? pbIno.watts.at(s) : 0.0;
             norW[s] += pbNor.watts.count(s) ? pbNor.watts.at(s) : 0.0;

@@ -126,10 +126,10 @@ main()
     std::printf("%s\n", table.render().c_str());
 
     // Structure activity of a real Noreba run.
-    const TraceBundle &bundle = bundleFor("mcf");
+    const auto bundle = bundleFor("mcf");
     CoreConfig cfg = skylakeConfig();
     cfg.commitMode = CommitMode::Noreba;
-    CoreStats s = simulate(cfg, bundle);
+    CoreStats s = simulate(cfg, *bundle);
     std::printf("Selective ROB activity on mcf: BIT ops %llu, DCT ops "
                 "%llu, CQT ops %llu, CIT ops %llu, CQ pushes+pops "
                 "%llu\n",

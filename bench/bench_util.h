@@ -109,11 +109,12 @@ traceOptions(bool annotate = true, bool stripSetups = false)
 
 /**
  * Build (and cache process-wide) the trace bundle for one workload.
- * Backed by the sweep engine's shared, mutex-guarded cache, so benches
- * that mix direct simulate() calls with SweepRunner sweeps build each
- * trace once and parallel requests don't race.
+ * Backed by the sweep engine's shared two-tier cache, so benches that
+ * mix direct simulate() calls with SweepRunner sweeps materialize each
+ * trace once per process (and, with NOREBA_TRACE_DIR set, once per
+ * *machine* — later processes start from an mmap of the disk store).
  */
-inline const TraceBundle &
+inline std::shared_ptr<const TraceBundle>
 bundleFor(const std::string &name, bool annotate = true,
           bool stripSetups = false)
 {
@@ -131,8 +132,11 @@ job(const std::string &workload, const CoreConfig &cfg,
 
 /**
  * If NOREBA_JSON_DIR is set, dump the sweep's machine-readable record
- * as <dir>/BENCH_<bench>.json: {"bench", "traceLen", "results": [...]}
- * with one entry per job in sweep order (see sweepResultToJson).
+ * as <dir>/BENCH_<bench>.json: {"bench", "traceLen", "traceCache",
+ * "results": [...]} with one entry per job in sweep order (see
+ * sweepResultToJson). "traceCache" snapshots the global two-tier
+ * bundle-cache counters — a warm NOREBA_TRACE_DIR run shows
+ * diskHits > 0 and builds == 0.
  */
 inline void
 maybeWriteJson(const char *bench, const std::vector<SweepResult> &results)
@@ -143,6 +147,8 @@ maybeWriteJson(const char *bench, const std::vector<SweepResult> &results)
     JsonValue doc = JsonValue::object();
     doc.set("bench", bench)
         .set("traceLen", traceLen())
+        .set("traceCache",
+             bundleCacheStatsToJson(globalBundleCache().stats()))
         .set("results", sweepToJson(results));
     std::string path = std::string(dir) + "/BENCH_" + bench + ".json";
     writeJsonFile(path, doc);

@@ -78,6 +78,15 @@ Interpreter::run(const InterpOptions &opts)
     const Function &fn = prog_.function();
     const Layout &layout = prog_.layout();
 
+    // Fail fast instead of silently overflowing TraceIdx (int32_t)
+    // guardIdx/cursor arithmetic on very long traces. The budget check
+    // is conservative: setup instructions inflate the record count past
+    // maxDynInsts, so the per-record check below still stands guard.
+    fatal_if(opts.maxDynInsts > MAX_TRACE_RECORDS,
+             "maxDynInsts %llu exceeds the TraceIdx limit of %llu records",
+             static_cast<unsigned long long>(opts.maxDynInsts),
+             static_cast<unsigned long long>(MAX_TRACE_RECORDS));
+
     DynamicTrace trace;
     trace.name = prog_.name();
 
@@ -408,8 +417,13 @@ Interpreter::run(const InterpOptions &opts)
             rec.nextPc = pc + INST_BYTES;
         }
 
-        if (opts.emitTrace)
+        if (opts.emitTrace) {
+            fatal_if(trace.records.size() >= MAX_TRACE_RECORDS,
+                     "trace for %s exceeds the TraceIdx limit of %llu "
+                     "records", trace.name.c_str(),
+                     static_cast<unsigned long long>(MAX_TRACE_RECORDS));
             trace.records.push_back(rec);
+        }
         if (isSetup(inst.op)) {
             ++trace.setupInsts;
         } else {

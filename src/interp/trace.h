@@ -21,6 +21,14 @@ namespace noreba {
 using TraceIdx = int32_t;
 constexpr TraceIdx TRACE_NONE = -1;
 
+/**
+ * Hard cap on trace length: every record must be addressable by a
+ * TraceIdx, and guardIdx/cursor arithmetic assumes indices never wrap.
+ * The interpreter fails fast when a trace would exceed this.
+ */
+constexpr uint64_t MAX_TRACE_RECORDS =
+    static_cast<uint64_t>(INT32_MAX);
+
 /** One dynamic instruction. */
 struct TraceRecord
 {
@@ -61,13 +69,12 @@ struct TraceRecord
     }
 };
 
-/** A full dynamic trace plus summary statistics. */
-struct DynamicTrace
+/**
+ * Per-trace summary statistics, separate from the record storage so a
+ * TraceView can carry them without owning the records.
+ */
+struct TraceSummary
 {
-    std::string name;
-    std::vector<TraceRecord> records;
-
-    /** @name Summary statistics @{ */
     uint64_t dynInsts = 0;       //!< records excluding setup instructions
     uint64_t setupInsts = 0;
     uint64_t branches = 0;       //!< conditional + indirect branch count
@@ -75,10 +82,75 @@ struct DynamicTrace
     uint64_t loads = 0;
     uint64_t stores = 0;
     bool truncated = false;      //!< hit the dynamic instruction limit
-    /** @} */
+};
+
+/** A full dynamic trace (owning storage) plus summary statistics. */
+struct DynamicTrace : TraceSummary
+{
+    std::string name;
+    std::vector<TraceRecord> records;
 
     size_t size() const { return records.size(); }
     const TraceRecord &operator[](size_t i) const { return records[i]; }
+};
+
+/**
+ * Read-only view of a prepared trace: indexed record access plus the
+ * summary statistics, decoupled from where the records live. The
+ * backing storage is either a DynamicTrace's in-memory vector or a
+ * memory-mapped on-disk bundle (sim/trace_store.h); the consumer —
+ * Core, the commit policies, the predictor precompute — cannot tell the
+ * difference, which is what makes serialized replay bit-identical to
+ * in-memory replay.
+ *
+ * A view is a cheap value type (pointer + size + copied summary). It
+ * does not keep its backing alive: the DynamicTrace or mapped bundle
+ * must outlive every view onto it.
+ */
+class TraceView
+{
+  public:
+    TraceView() = default;
+
+    /** View over an in-memory trace (the common case). */
+    /*implicit*/ TraceView(const DynamicTrace &t)
+        : records_(t.records.data()), size_(t.records.size()),
+          summary_(t), name_(t.name)
+    {
+    }
+
+    /** Viewing a temporary would dangle immediately. */
+    TraceView(DynamicTrace &&) = delete;
+
+    /** View over externally owned storage (mmap-backed bundles). */
+    TraceView(std::string name, const TraceRecord *records, size_t size,
+              const TraceSummary &summary)
+        : records_(records), size_(size), summary_(summary),
+          name_(std::move(name))
+    {
+    }
+
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    const TraceRecord &operator[](size_t i) const { return records_[i]; }
+    const TraceRecord &operator[](TraceIdx i) const
+    {
+        return records_[static_cast<size_t>(i)];
+    }
+
+    const TraceRecord *data() const { return records_; }
+    const TraceRecord *begin() const { return records_; }
+    const TraceRecord *end() const { return records_ + size_; }
+
+    const TraceSummary &summary() const { return summary_; }
+    const std::string &name() const { return name_; }
+
+  private:
+    const TraceRecord *records_ = nullptr;
+    size_t size_ = 0;
+    TraceSummary summary_;
+    std::string name_;
 };
 
 } // namespace noreba

@@ -2,10 +2,17 @@
 
 #include "common/logging.h"
 #include "interp/interpreter.h"
+#include "sim/trace_store.h"
 #include "uarch/branch_predictor.h"
 #include "uarch/core.h"
 
 namespace noreba {
+
+TraceView
+TraceBundle::view() const
+{
+    return mapped ? mapped->view() : TraceView(trace);
+}
 
 /**
  * Remove setup records, remapping every guardIdx to the stripped
@@ -13,22 +20,23 @@ namespace noreba {
  * the remap is total.
  */
 DynamicTrace
-stripSetupRecords(const DynamicTrace &in)
+stripSetupRecords(const TraceView &in)
 {
+    const TraceSummary &sum = in.summary();
     DynamicTrace out;
-    out.name = in.name;
-    out.dynInsts = in.dynInsts;
+    out.name = in.name();
+    out.dynInsts = sum.dynInsts;
     out.setupInsts = 0;
-    out.branches = in.branches;
-    out.takenBranches = in.takenBranches;
-    out.loads = in.loads;
-    out.stores = in.stores;
-    out.truncated = in.truncated;
+    out.branches = sum.branches;
+    out.takenBranches = sum.takenBranches;
+    out.loads = sum.loads;
+    out.stores = sum.stores;
+    out.truncated = sum.truncated;
 
     std::vector<TraceIdx> remap(in.size(), TRACE_NONE);
-    out.records.reserve(in.size() - in.setupInsts);
+    out.records.reserve(in.size() - sum.setupInsts);
     for (size_t i = 0; i < in.size(); ++i) {
-        const TraceRecord &rec = in.records[i];
+        const TraceRecord &rec = in[i];
         if (rec.isSetup())
             continue;
         remap[i] = static_cast<TraceIdx>(out.records.size());
@@ -71,7 +79,7 @@ prepareTrace(const std::string &workload, const TraceOptions &opts)
 CoreStats
 simulate(const CoreConfig &cfg, const TraceBundle &bundle)
 {
-    Core core(cfg, bundle.trace, bundle.misp);
+    Core core(cfg, bundle.view(), bundle.misp);
     return core.run();
 }
 

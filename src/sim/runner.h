@@ -10,9 +10,11 @@
 #ifndef NOREBA_SIM_RUNNER_H
 #define NOREBA_SIM_RUNNER_H
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "compiler/branch_dep.h"
 #include "interp/trace.h"
 #include "uarch/config.h"
@@ -21,14 +23,26 @@
 
 namespace noreba {
 
-/** A prepared, simulate-ready trace. */
+class MappedTraceBundle;
+
+/**
+ * A prepared, simulate-ready trace. Backed either by the in-memory
+ * `trace` it was built into, or — when it came out of the on-disk
+ * trace store — by a memory-mapped bundle file (`mapped`); view()
+ * hides the difference from every consumer.
+ */
 struct TraceBundle
 {
     std::string workload;
-    DynamicTrace trace;
+    DynamicTrace trace;        //!< owning storage when built in-process
+    /** Owning mapping when loaded from the store (trace stays empty). */
+    std::shared_ptr<const MappedTraceBundle> mapped;
     std::vector<uint8_t> misp; //!< per-record misprediction verdicts
     PassResult pass;           //!< compiler pass report
     uint64_t checksum = 0;     //!< architectural result checksum
+
+    /** Read interface over whichever backing this bundle has. */
+    TraceView view() const;
 };
 
 /** Trace-preparation options. */
@@ -55,7 +69,7 @@ TraceBundle prepareTrace(const std::string &workload,
  * stripped numbering (TraceOptions::stripSetups uses this; exposed for
  * direct use and testing).
  */
-DynamicTrace stripSetupRecords(const DynamicTrace &in);
+DynamicTrace stripSetupRecords(const TraceView &in);
 
 /** Simulate a prepared bundle on one core configuration. */
 CoreStats simulate(const CoreConfig &cfg, const TraceBundle &bundle);
@@ -66,15 +80,20 @@ CoreStats runOne(const std::string &workload, const CoreConfig &cfg,
 
 /**
  * Speedup helper: cycles(baseline) / cycles(candidate), the paper's
- * performance metric (all runs replay the same trace).
+ * performance metric (all runs replay the same trace). A zero-cycle
+ * run is a simulator bug, not an infinitely slow candidate — panic
+ * instead of feeding a silently wrong datapoint into a geomean.
  */
 inline double
 speedup(const CoreStats &baseline, const CoreStats &candidate)
 {
-    return candidate.cycles
-               ? static_cast<double>(baseline.cycles) /
-                     static_cast<double>(candidate.cycles)
-               : 0.0;
+    panic_if(baseline.cycles == 0 || candidate.cycles == 0,
+             "speedup() on a zero-cycle run (baseline %llu, candidate "
+             "%llu cycles)",
+             static_cast<unsigned long long>(baseline.cycles),
+             static_cast<unsigned long long>(candidate.cycles));
+    return static_cast<double>(baseline.cycles) /
+           static_cast<double>(candidate.cycles);
 }
 
 } // namespace noreba

@@ -7,28 +7,100 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "sim/trace_store.h"
 
 namespace noreba {
 
-const TraceBundle &
+BundleCache::BundleCache(size_t capacity) : capacity_(capacity)
+{
+}
+
+size_t
+BundleCache::capacityFromEnv()
+{
+    const char *env = std::getenv("NOREBA_BUNDLE_CACHE_CAP");
+    if (!env || !*env)
+        return 0;
+    errno = 0;
+    char *end = nullptr;
+    long parsed = std::strtol(env, &end, 10);
+    fatal_if(errno != 0 || end == env || *end != '\0' || parsed < 0,
+             "NOREBA_BUNDLE_CACHE_CAP=\"%s\" is not a non-negative "
+             "integer", env);
+    return static_cast<size_t>(parsed);
+}
+
+std::shared_ptr<const TraceBundle>
 BundleCache::get(const std::string &workload, const TraceOptions &opts)
 {
     Key key{workload,     opts.params.seed, opts.params.scale,
             opts.maxDynInsts, opts.annotate,    opts.stripSetups};
-    Entry *entry;
+    std::shared_ptr<Entry> entry;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        auto &slot = entries_[key];
-        if (!slot)
-            slot = std::make_unique<Entry>();
-        entry = slot.get();
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            entry = it->second;
+            ++stats_.memHits;
+        } else {
+            entry = std::make_shared<Entry>();
+            entries_.emplace(key, entry);
+        }
+        entry->lastUse = ++useClock_;
     }
-    // Build outside the map lock so unrelated bundles prepare in
+    // Materialize outside the map lock so unrelated bundles prepare in
     // parallel; call_once blocks only the threads that want this one.
     std::call_once(entry->once, [&] {
-        entry->bundle = prepareTrace(workload, opts);
+        const std::string path = traceBundlePath(workload, opts);
+        if (!path.empty()) {
+            if (auto mapped = MappedTraceBundle::open(path)) {
+                auto bundle = std::make_shared<TraceBundle>();
+                bundle->workload = workload;
+                bundle->misp = mapped->misp();
+                bundle->pass = mapped->pass();
+                bundle->checksum = mapped->archChecksum();
+                bundle->mapped = std::move(mapped);
+                entry->bundle = std::move(bundle);
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.diskHits;
+                stats_.bytesMapped += entry->bundle->mapped->fileBytes();
+                return;
+            }
+        }
+        auto bundle =
+            std::make_shared<TraceBundle>(prepareTrace(workload, opts));
+        const size_t published =
+            path.empty() ? 0 : saveTraceBundle(path, *bundle);
+        entry->bundle = std::move(bundle);
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.builds;
+        stats_.bytesWritten += published;
     });
-    return entry->bundle;
+    std::shared_ptr<const TraceBundle> bundle = entry->bundle;
+    if (capacity_) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        evictLocked(entry.get());
+    }
+    return bundle;
+}
+
+void
+BundleCache::evictLocked(const Entry *keep)
+{
+    while (entries_.size() > capacity_) {
+        auto victim = entries_.end();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (it->second.get() == keep || !it->second->bundle)
+                continue;
+            if (victim == entries_.end() ||
+                it->second->lastUse < victim->second->lastUse)
+                victim = it;
+        }
+        if (victim == entries_.end())
+            break;
+        entries_.erase(victim);
+        ++stats_.evictions;
+    }
 }
 
 size_t
@@ -36,6 +108,13 @@ BundleCache::size() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return entries_.size();
+}
+
+BundleCacheStats
+BundleCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
 }
 
 BundleCache &
@@ -72,9 +151,12 @@ SweepRunner::run(const std::vector<SweepJob> &jobs)
     std::vector<SweepResult> results(jobs.size());
     auto runJob = [&](size_t i) {
         const SweepJob &job = jobs[i];
-        const TraceBundle &bundle = cache_->get(job.workload, job.trace);
+        // Shared ownership keeps the bundle alive across simulate()
+        // even if the cache's LRU tier evicts it mid-sweep.
+        std::shared_ptr<const TraceBundle> bundle =
+            cache_->get(job.workload, job.trace);
         results[i].job = job;
-        results[i].stats = simulate(job.cfg, bundle);
+        results[i].stats = simulate(job.cfg, *bundle);
     };
 
     if (numThreads_ <= 1 || jobs.size() <= 1) {
@@ -173,6 +255,19 @@ statsToJson(const CoreStats &s)
         .set("cqtOps", s.cqtOps)
         .set("citOps", s.citOps)
         .set("cqOps", s.cqOps);
+    return out;
+}
+
+JsonValue
+bundleCacheStatsToJson(const BundleCacheStats &s)
+{
+    JsonValue out = JsonValue::object();
+    out.set("memHits", s.memHits)
+        .set("diskHits", s.diskHits)
+        .set("builds", s.builds)
+        .set("bytesMapped", s.bytesMapped)
+        .set("bytesWritten", s.bytesWritten)
+        .set("evictions", s.evictions);
     return out;
 }
 

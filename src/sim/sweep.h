@@ -40,21 +40,51 @@ struct SweepResult
     CoreStats stats;
 };
 
+/** Counters for the two-tier (memory over disk) bundle cache. */
+struct BundleCacheStats
+{
+    uint64_t memHits = 0;      //!< bundle already resident in-process
+    uint64_t diskHits = 0;     //!< bundle mmap'd from NOREBA_TRACE_DIR
+    uint64_t builds = 0;       //!< cold: full prepareTrace() pipeline
+    uint64_t bytesMapped = 0;  //!< total bytes of mmap'd bundle files
+    uint64_t bytesWritten = 0; //!< bytes published to the disk store
+    uint64_t evictions = 0;    //!< in-memory LRU evictions
+};
+
 /**
- * Shared trace-bundle cache. Bundles are keyed by everything that
- * shapes the trace (workload, generation params, length, annotation,
- * setup stripping); each is built exactly once even when many threads
- * request it concurrently, and the returned reference stays valid for
- * the cache's lifetime.
+ * Shared two-tier trace-bundle cache: an in-memory LRU tier over the
+ * on-disk bundle store (sim/trace_store.h). Bundles are keyed by
+ * everything that shapes the trace (workload, generation params,
+ * length, annotation, setup stripping); each is materialized exactly
+ * once per process even when many threads request it concurrently —
+ * first by mmap'ing a valid store file when NOREBA_TRACE_DIR is set,
+ * else by building it and publishing to the store for the next
+ * process.
+ *
+ * get() hands out shared ownership: the bundle stays alive while any
+ * caller holds the pointer, even after the LRU tier (bounded by
+ * NOREBA_BUNDLE_CACHE_CAP resident bundles; 0 = unbounded) evicts it.
  */
 class BundleCache
 {
   public:
-    const TraceBundle &get(const std::string &workload,
-                           const TraceOptions &opts = {});
+    explicit BundleCache(size_t capacity = capacityFromEnv());
 
-    /** Number of distinct bundles built so far. */
+    std::shared_ptr<const TraceBundle> get(const std::string &workload,
+                                           const TraceOptions &opts = {});
+
+    /** Number of bundles currently resident in the memory tier. */
     size_t size() const;
+
+    /** Snapshot of the hit/miss/byte counters. */
+    BundleCacheStats stats() const;
+
+    /**
+     * Memory-tier capacity from NOREBA_BUNDLE_CACHE_CAP: unset or
+     * empty means unbounded (0); anything that is not a non-negative
+     * integer is fatal().
+     */
+    static size_t capacityFromEnv();
 
   private:
     struct Key
@@ -79,11 +109,17 @@ class BundleCache
     struct Entry
     {
         std::once_flag once;
-        TraceBundle bundle;
+        std::shared_ptr<const TraceBundle> bundle;
+        uint64_t lastUse = 0;
     };
 
+    void evictLocked(const Entry *keep);
+
     mutable std::mutex mutex_;
-    std::map<Key, std::unique_ptr<Entry>> entries_;
+    std::map<Key, std::shared_ptr<Entry>> entries_;
+    uint64_t useClock_ = 0;
+    size_t capacity_;
+    BundleCacheStats stats_;
 };
 
 /** The process-wide cache every sweep (and bench) shares. */
@@ -125,6 +161,7 @@ class SweepRunner
 /** @name JSON records (BENCH_*.json emission) @{ */
 JsonValue configToJson(const CoreConfig &cfg);
 JsonValue statsToJson(const CoreStats &stats);
+JsonValue bundleCacheStatsToJson(const BundleCacheStats &stats);
 JsonValue sweepResultToJson(const SweepResult &result);
 /** Array of sweepResultToJson records, in sweep order. */
 JsonValue sweepToJson(const std::vector<SweepResult> &results);

@@ -130,14 +130,14 @@ TagePredictor::update(uint64_t pc, bool taken)
 }
 
 std::vector<uint8_t>
-precomputeMispredictions(const DynamicTrace &trace)
+precomputeMispredictions(const TraceView &trace)
 {
     TagePredictor tage;
     IndirectPredictor ind;
     std::vector<uint8_t> misp(trace.size(), 0);
 
     for (size_t i = 0; i < trace.size(); ++i) {
-        const TraceRecord &rec = trace.records[i];
+        const TraceRecord &rec = trace[i];
         if (rec.isCondBr()) {
             bool pred = tage.predict(rec.pc);
             misp[i] = pred != rec.taken;
@@ -152,12 +152,12 @@ precomputeMispredictions(const DynamicTrace &trace)
 }
 
 PredictorStats
-summarizeMispredictions(const DynamicTrace &trace,
+summarizeMispredictions(const TraceView &trace,
                         const std::vector<uint8_t> &misp)
 {
     PredictorStats stats;
     for (size_t i = 0; i < trace.size(); ++i) {
-        if (trace.records[i].isBranchSite()) {
+        if (trace[i].isBranchSite()) {
             ++stats.branches;
             stats.mispredicts += misp[i];
         }

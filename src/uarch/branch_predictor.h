@@ -105,7 +105,7 @@ class IndirectPredictor
  * if that dynamic branch instance is mispredicted (direction for
  * conditional branches, target for JALR). Non-branches get false.
  */
-std::vector<uint8_t> precomputeMispredictions(const DynamicTrace &trace);
+std::vector<uint8_t> precomputeMispredictions(const TraceView &trace);
 
 /** Misprediction statistics for tests / reports. */
 struct PredictorStats
@@ -120,7 +120,7 @@ struct PredictorStats
     }
 };
 
-PredictorStats summarizeMispredictions(const DynamicTrace &trace,
+PredictorStats summarizeMispredictions(const TraceView &trace,
                                        const std::vector<uint8_t> &misp);
 
 } // namespace noreba

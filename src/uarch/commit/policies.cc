@@ -207,12 +207,12 @@ class ValidationBufferCommit : public CommitPolicy
     void
     buildEpochs(Core &core)
     {
-        const DynamicTrace &trace = core.trace();
+        const TraceView &trace = core.trace();
         nextBranch_.assign(trace.size(), TRACE_NONE);
         TraceIdx next = TRACE_NONE;
         for (size_t i = trace.size(); i-- > 0;) {
             nextBranch_[i] = next;
-            if (trace.records[i].isBranchSite())
+            if (trace[i].isBranchSite())
                 next = static_cast<TraceIdx>(i);
         }
     }

@@ -1,6 +1,7 @@
 #include "uarch/core.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -25,14 +26,14 @@ memOverlap(const TraceRecord &a, const TraceRecord &b)
 
 } // namespace
 
-Core::Core(const CoreConfig &cfg, const DynamicTrace &trace,
+Core::Core(const CoreConfig &cfg, TraceView trace,
            const std::vector<uint8_t> &misp)
-    : cfg_(cfg), trace_(trace), misp_(misp),
+    : cfg_(cfg), trace_(std::move(trace)), misp_(misp),
       policy_(makeCommitPolicy(cfg)), mem_(cfg),
       tlb_(cfg.tlbEntries, cfg.tlbMissPenalty),
-      committed_(trace.size(), 0)
+      committed_(trace_.size(), 0)
 {
-    panic_if(misp.size() != trace.size(),
+    panic_if(misp.size() != trace_.size(),
              "misprediction vector does not match the trace");
     // All policies — oracles included — pay the front-end cost of
     // re-fetching instructions that already committed out-of-order
@@ -146,7 +147,7 @@ Core::olderSitePcUnresolved(uint64_t pc, TraceIdx before) const
         return false;
     for (auto it = unresolvedBranches_.begin();
          it != unresolvedBranches_.end() && *it < before; ++it) {
-        if (trace_.records[static_cast<size_t>(*it)].pc == pc)
+        if (trace_[static_cast<size_t>(*it)].pc == pc)
             return true;
     }
     return false;
@@ -176,7 +177,7 @@ Core::guardChainResolved(InFlight *p)
             *unresolvedBranches_.begin() > g) {
             break; // everything at or below g has resolved
         }
-        const TraceRecord &rec = trace_.records[static_cast<size_t>(g)];
+        const TraceRecord &rec = trace_[static_cast<size_t>(g)];
         if (sensitive && olderSitePcUnresolved(rec.pc, g))
             return false;
         if (!committed_[static_cast<size_t>(g)]) {
@@ -404,7 +405,7 @@ Core::commitStage()
             // every non-speculative OoO-commit condition) is waiting
             // for before the window can drain.
             TraceIdx b = *unresolvedBranches_.begin();
-            ++stats_.branchStalls[trace_.records[static_cast<size_t>(b)]
+            ++stats_.branchStalls[trace_[static_cast<size_t>(b)]
                                       .pc]
                   .stallCycles;
         }
@@ -625,7 +626,7 @@ Core::dispatchStage()
             if (p->isBranch)
                 ++stats_.branchStalls[rec.pc].instances;
             if (rec.guardIdx >= 0)
-                ++stats_.branchStalls[trace_.records[rec.guardIdx].pc]
+                ++stats_.branchStalls[trace_[rec.guardIdx].pc]
                       .dependents;
         }
 
@@ -689,7 +690,7 @@ Core::fetchStage()
             ++fetchIdx_;
             continue;
         }
-        const TraceRecord &rec = trace_.records[static_cast<size_t>(
+        const TraceRecord &rec = trace_[static_cast<size_t>(
             fetchIdx_)];
         uint64_t line = rec.pc >> 6;
         if (line != lastFetchLine_) {

@@ -42,11 +42,12 @@ class Core
   public:
     /**
      * @param cfg    core configuration
-     * @param trace  dynamic trace to replay
+     * @param trace  view of the dynamic trace to replay (in-memory or
+     *               mmap-backed; the backing must outlive the core)
      * @param misp   per-record misprediction verdicts
      *               (precomputeMispredictions)
      */
-    Core(const CoreConfig &cfg, const DynamicTrace &trace,
+    Core(const CoreConfig &cfg, TraceView trace,
          const std::vector<uint8_t> &misp);
     ~Core();
 
@@ -56,7 +57,7 @@ class Core
     /** @name Policy-facing API @{ */
     const CoreConfig &config() const { return cfg_; }
     Cycle now() const { return cycle_; }
-    const DynamicTrace &trace() const { return trace_; }
+    const TraceView &trace() const { return trace_; }
     CoreStats &stats() { return stats_; }
 
     /** Master ROB: dispatched, not yet reclaimed, program order. */
@@ -165,7 +166,7 @@ class Core
     void consumeFu(FuClass cls, int latency);
 
     const CoreConfig cfg_;
-    const DynamicTrace &trace_;
+    const TraceView trace_;
     const std::vector<uint8_t> &misp_;
 
     std::unique_ptr<CommitPolicy> policy_;

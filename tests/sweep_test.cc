@@ -109,16 +109,20 @@ TEST(Json, PrettyPrintIndents)
 TEST(BundleCache, SameKeyReturnsSameBundleOnce)
 {
     BundleCache cache;
-    const TraceBundle &a = cache.get("CRC32", shortTrace());
-    const TraceBundle &b = cache.get("CRC32", shortTrace());
-    EXPECT_EQ(&a, &b);
+    auto a = cache.get("CRC32", shortTrace());
+    auto b = cache.get("CRC32", shortTrace());
+    EXPECT_EQ(a.get(), b.get());
     EXPECT_EQ(cache.size(), 1u);
 
     TraceOptions stripped = shortTrace();
     stripped.stripSetups = true;
-    const TraceBundle &c = cache.get("CRC32", stripped);
-    EXPECT_NE(&a, &c);
+    auto c = cache.get("CRC32", stripped);
+    EXPECT_NE(a.get(), c.get());
     EXPECT_EQ(cache.size(), 2u);
+
+    BundleCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.builds, 2u);
+    EXPECT_EQ(stats.memHits, 1u);
 }
 
 TEST(BundleCache, ConcurrentGetBuildsOnce)
@@ -129,10 +133,10 @@ TEST(BundleCache, ConcurrentGetBuildsOnce)
     ThreadPool pool(8);
     for (int i = 0; i < 32; ++i) {
         pool.submit([&] {
-            const TraceBundle &b = cache.get("CRC32", shortTrace());
+            auto b = cache.get("CRC32", shortTrace());
             const TraceBundle *expected = nullptr;
-            if (!seen.compare_exchange_strong(expected, &b) &&
-                expected != &b)
+            if (!seen.compare_exchange_strong(expected, b.get()) &&
+                expected != b.get())
                 mismatch = true;
         });
     }
