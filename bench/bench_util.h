@@ -21,6 +21,7 @@
 #define NOREBA_BENCH_BENCH_UTIL_H
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -35,6 +36,18 @@
 #include "sim/sweep.h"
 
 namespace noreba::benchutil {
+
+/**
+ * Wall-clock anchor for the perf record. Primed by printHeader() (the
+ * first thing every bench does), so the elapsed time in maybeWriteJson
+ * covers trace building and the sweep itself.
+ */
+inline std::chrono::steady_clock::time_point
+processStart()
+{
+    static const auto t0 = std::chrono::steady_clock::now();
+    return t0;
+}
 
 inline uint64_t
 traceLen()
@@ -136,7 +149,10 @@ job(const std::string &workload, const CoreConfig &cfg,
  * "results": [...]} with one entry per job in sweep order (see
  * sweepResultToJson). "traceCache" snapshots the global two-tier
  * bundle-cache counters — a warm NOREBA_TRACE_DIR run shows
- * diskHits > 0 and builds == 0.
+ * diskHits > 0 and builds == 0. "perf" records the bench's simulation
+ * throughput: wall seconds since processStart(), total simulated
+ * kilocycles across all results, and their ratio (the CI perf-smoke
+ * metric).
  */
 inline void
 maybeWriteJson(const char *bench, const std::vector<SweepResult> &results)
@@ -144,21 +160,40 @@ maybeWriteJson(const char *bench, const std::vector<SweepResult> &results)
     const char *dir = std::getenv("NOREBA_JSON_DIR");
     if (!dir || !*dir)
         return;
+    const double wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      processStart())
+            .count();
+    uint64_t simCycles = 0;
+    for (const SweepResult &r : results)
+        simCycles += r.stats.cycles;
+    const double simKilocycles = static_cast<double>(simCycles) / 1e3;
+    JsonValue perf = JsonValue::object();
+    perf.set("wallSeconds", wallSeconds)
+        .set("simKilocycles", simKilocycles)
+        .set("simKCyclesPerWallSec",
+             wallSeconds > 0.0 ? simKilocycles / wallSeconds : 0.0);
     JsonValue doc = JsonValue::object();
     doc.set("bench", bench)
         .set("traceLen", traceLen())
         .set("traceCache",
              bundleCacheStatsToJson(globalBundleCache().stats()))
+        .set("perf", std::move(perf))
         .set("results", sweepToJson(results));
     std::string path = std::string(dir) + "/BENCH_" + bench + ".json";
     writeJsonFile(path, doc);
     std::printf("wrote %s (%zu records)\n", path.c_str(), results.size());
+    std::printf("perf: %.2f s wall, %.0f simulated kilocycles, "
+                "%.1f kcycles/s\n",
+                wallSeconds, simKilocycles,
+                wallSeconds > 0.0 ? simKilocycles / wallSeconds : 0.0);
 }
 
 /** Header printed by every bench. */
 inline void
 printHeader(const char *experiment, const char *description)
 {
+    processStart(); // prime the perf wall-clock anchor
     std::printf("==============================================================\n");
     std::printf("NOREBA reproduction — %s\n", experiment);
     std::printf("%s\n", description);

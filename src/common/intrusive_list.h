@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Intrusive doubly-linked list: nodes embed their own prev/next links
+ * and a linked flag, named as pointer-to-member template parameters.
+ * Insertion, removal and head access are O(1) with zero allocation,
+ * which is what the pipeline-state indices need for the uncommitted
+ * frontier (entries leave the middle of the list on every out-of-order
+ * commit). The list never owns its nodes.
+ */
+
+#ifndef NOREBA_COMMON_INTRUSIVE_LIST_H
+#define NOREBA_COMMON_INTRUSIVE_LIST_H
+
+#include <cstddef>
+
+#include "common/logging.h"
+
+namespace noreba {
+
+template <typename T, T *T::*Prev, T *T::*Next, bool T::*Linked>
+class IntrusiveList
+{
+  public:
+    T *head() const { return head_; }
+    T *tail() const { return tail_; }
+    bool empty() const { return size_ == 0; }
+    size_t size() const { return size_; }
+
+    static bool linked(const T *n) { return n->*Linked; }
+    static T *next(const T *n) { return n->*Next; }
+    static T *prev(const T *n) { return n->*Prev; }
+
+    void
+    pushBack(T *n)
+    {
+        panic_if(n->*Linked, "intrusive list: node already linked");
+        n->*Prev = tail_;
+        n->*Next = nullptr;
+        if (tail_)
+            tail_->*Next = n;
+        else
+            head_ = n;
+        tail_ = n;
+        n->*Linked = true;
+        ++size_;
+    }
+
+    void
+    erase(T *n)
+    {
+        panic_if(!(n->*Linked), "intrusive list: node not linked");
+        if (n->*Prev)
+            n->*Prev->*Next = n->*Next;
+        else
+            head_ = n->*Next;
+        if (n->*Next)
+            n->*Next->*Prev = n->*Prev;
+        else
+            tail_ = n->*Prev;
+        n->*Prev = nullptr;
+        n->*Next = nullptr;
+        n->*Linked = false;
+        --size_;
+    }
+
+    void
+    clear()
+    {
+        for (T *n = head_; n;) {
+            T *nx = n->*Next;
+            n->*Prev = nullptr;
+            n->*Next = nullptr;
+            n->*Linked = false;
+            n = nx;
+        }
+        head_ = tail_ = nullptr;
+        size_ = 0;
+    }
+
+  private:
+    T *head_ = nullptr;
+    T *tail_ = nullptr;
+    size_t size_ = 0;
+};
+
+} // namespace noreba
+
+#endif // NOREBA_COMMON_INTRUSIVE_LIST_H

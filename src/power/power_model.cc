@@ -19,23 +19,44 @@ struct StructParams
     double areaMm2;
     double leakW;
     double energyPj; //!< per access
+    /** Activity: events charged to this structure for a run. */
+    uint64_t (*activity)(const CoreStats &);
 };
 
 // CACTI-flavoured first-order constants for a ~14 nm, 2.5 GHz core.
+// Each structure names its activity counters directly (compile-time
+// checked against CoreStats, no string keys).
 const StructParams BASE_STRUCTS[] = {
-    {"icache", 1.20, 0.30, 35.0},
-    {"bpred", 0.60, 0.16, 8.0},
-    {"idecode", 0.80, 0.20, 12.0},
-    {"ialu", 1.00, 0.24, 30.0},
-    {"fpalu", 1.80, 0.40, 80.0},
-    {"cmplxalu", 0.90, 0.20, 60.0},
-    {"dcache", 2.20, 0.60, 45.0},
-    {"lsu", 0.80, 0.20, 25.0},
-    {"rename", 0.50, 0.12, 15.0},
-    {"regf", 1.10, 0.28, 10.0},
-    {"scheduler", 1.00, 0.24, 12.0},
+    {"icache", 1.20, 0.30, 35.0,
+     [](const CoreStats &s) { return s.icacheAccesses; }},
+    {"bpred", 0.60, 0.16, 8.0,
+     // lookup + update
+     [](const CoreStats &s) { return 2 * s.bpredLookups; }},
+    {"idecode", 0.80, 0.20, 12.0,
+     [](const CoreStats &s) { return s.fetched; }},
+    {"ialu", 1.00, 0.24, 30.0,
+     [](const CoreStats &s) { return s.intAluOps; }},
+    {"fpalu", 1.80, 0.40, 80.0,
+     [](const CoreStats &s) { return s.fpAluOps; }},
+    {"cmplxalu", 0.90, 0.20, 60.0,
+     [](const CoreStats &s) { return s.cmplxAluOps; }},
+    {"dcache", 2.20, 0.60, 45.0,
+     [](const CoreStats &s) {
+         return s.dcacheAccesses + 2 * s.l2Accesses + 3 * s.l3Accesses;
+     }},
+    {"lsu", 0.80, 0.20, 25.0,
+     [](const CoreStats &s) { return s.lsqOps + s.dcacheAccesses; }},
+    {"rename", 0.50, 0.12, 15.0,
+     [](const CoreStats &s) { return s.renameOps; }},
+    {"regf", 1.10, 0.28, 10.0,
+     [](const CoreStats &s) { return s.rfReads + s.rfWrites; }},
+    {"scheduler", 1.00, 0.24, 12.0,
+     [](const CoreStats &s) {
+         return s.iqWrites + 2 * s.issued + s.cdbBroadcasts;
+     }},
     // rob / SELECTIVE ROB handled specially below.
-    {"cdb", 0.40, 0.10, 12.0},
+    {"cdb", 0.40, 0.10, 12.0,
+     [](const CoreStats &s) { return s.cdbBroadcasts; }},
 };
 
 double
@@ -46,36 +67,6 @@ dynWatts(uint64_t events, double energyPj, uint64_t cycles)
     double accessesPerCycle =
         static_cast<double>(events) / static_cast<double>(cycles);
     return accessesPerCycle * energyPj * OVERHEAD * NOMINAL_GHZ * 1e-3;
-}
-
-uint64_t
-activityOf(const std::string &name, const CoreStats &s)
-{
-    if (name == "icache")
-        return s.icacheAccesses;
-    if (name == "bpred")
-        return 2 * s.bpredLookups; // lookup + update
-    if (name == "idecode")
-        return s.fetched;
-    if (name == "ialu")
-        return s.intAluOps;
-    if (name == "fpalu")
-        return s.fpAluOps;
-    if (name == "cmplxalu")
-        return s.cmplxAluOps;
-    if (name == "dcache")
-        return s.dcacheAccesses + 2 * s.l2Accesses + 3 * s.l3Accesses;
-    if (name == "lsu")
-        return s.lsqOps + s.dcacheAccesses;
-    if (name == "rename")
-        return s.renameOps;
-    if (name == "regf")
-        return s.rfReads + s.rfWrites;
-    if (name == "scheduler")
-        return s.iqWrites + 2 * s.issued + s.cdbBroadcasts;
-    if (name == "cdb")
-        return s.cdbBroadcasts;
-    return 0;
 }
 
 } // namespace
@@ -116,7 +107,7 @@ computePower(const CoreConfig &cfg, const CoreStats &stats)
     const uint64_t cycles = stats.cycles;
 
     for (const auto &sp : BASE_STRUCTS) {
-        uint64_t events = activityOf(sp.name, stats);
+        uint64_t events = sp.activity(stats);
         out.watts[sp.name] =
             sp.leakW + dynWatts(events, sp.energyPj, cycles);
         out.area[sp.name] = sp.areaMm2;

@@ -209,52 +209,12 @@ JsonValue
 statsToJson(const CoreStats &s)
 {
     JsonValue out = JsonValue::object();
-    out.set("cycles", s.cycles)
-        .set("committedInsts", s.committedInsts)
-        .set("ipc", s.ipc())
-        .set("committedOoO", s.committedOoO)
-        .set("committedAhead", s.committedAhead)
-        .set("oooCommitFraction", s.oooCommitFraction())
-        .set("fetched", s.fetched)
-        .set("setupFetched", s.setupFetched)
-        .set("citDrops", s.citDrops)
-        .set("icacheStallCycles", s.icacheStallCycles)
-        .set("branches", s.branches)
-        .set("mispredicts", s.mispredicts)
-        .set("squashes", s.squashes)
-        .set("squashedInsts", s.squashedInsts)
-        .set("dispatched", s.dispatched)
-        .set("issued", s.issued)
-        .set("windowFullCycles", s.windowFullCycles)
-        .set("commitHeadBranchStall", s.commitHeadBranchStall)
-        .set("commitHeadLoadStall", s.commitHeadLoadStall)
-        .set("steerStallCycles", s.steerStallCycles)
-        .set("steerStallTlb", s.steerStallTlb)
-        .set("steerStallCqt", s.steerStallCqt)
-        .set("steerStallCqFull", s.steerStallCqFull)
-        .set("citFullStalls", s.citFullStalls)
-        .set("rfReads", s.rfReads)
-        .set("rfWrites", s.rfWrites)
-        .set("iqWrites", s.iqWrites)
-        .set("iqWakeups", s.iqWakeups)
-        .set("robWrites", s.robWrites)
-        .set("robReads", s.robReads)
-        .set("lsqOps", s.lsqOps)
-        .set("bpredLookups", s.bpredLookups)
-        .set("icacheAccesses", s.icacheAccesses)
-        .set("dcacheAccesses", s.dcacheAccesses)
-        .set("l2Accesses", s.l2Accesses)
-        .set("l3Accesses", s.l3Accesses)
-        .set("intAluOps", s.intAluOps)
-        .set("fpAluOps", s.fpAluOps)
-        .set("cmplxAluOps", s.cmplxAluOps)
-        .set("renameOps", s.renameOps)
-        .set("cdbBroadcasts", s.cdbBroadcasts)
-        .set("bitOps", s.bitOps)
-        .set("dctOps", s.dctOps)
-        .set("cqtOps", s.cqtOps)
-        .set("citOps", s.citOps)
-        .set("cqOps", s.cqOps);
+    for (const CoreStatsField &f : CORE_STATS_FIELDS) {
+        if (f.counter)
+            out.set(f.name, s.*f.counter);
+        else
+            out.set(f.name, f.derived(s));
+    }
     return out;
 }
 

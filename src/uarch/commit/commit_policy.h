@@ -5,6 +5,11 @@
  * in-flight instructions retire and therefore when window resources are
  * reclaimed. All five policies of Figures 1 and 6 implement this
  * interface (see the sources in uarch/commit/).
+ *
+ * Policies see the pipeline only through PipelineView — a narrow,
+ * const-correct facade over the incrementally maintained pipeline-state
+ * indices (uarch/pipeline_view.h). They never touch the Core class or
+ * the master ROB directly.
  */
 
 #ifndef NOREBA_UARCH_COMMIT_COMMIT_POLICY_H
@@ -18,7 +23,7 @@
 
 namespace noreba {
 
-class Core;
+class PipelineView;
 
 /** Per-cycle commit behaviour. */
 class CommitPolicy
@@ -27,19 +32,19 @@ class CommitPolicy
     virtual ~CommitPolicy() = default;
 
     /** Retire eligible instructions (up to the commit width). */
-    virtual void commitCycle(Core &core) = 0;
+    virtual void commitCycle(PipelineView &view) = 0;
 
     /** A freshly renamed instruction entered the window. */
-    virtual void onDispatch(Core &core, InFlight *inst)
+    virtual void onDispatch(PipelineView &view, InFlight *inst)
     {
-        (void)core;
+        (void)view;
         (void)inst;
     }
 
     /** All uncommitted instructions with idx > `after` were squashed. */
-    virtual void onSquash(Core &core, TraceIdx after)
+    virtual void onSquash(PipelineView &view, TraceIdx after)
     {
-        (void)core;
+        (void)view;
         (void)after;
     }
 
@@ -48,7 +53,7 @@ class CommitPolicy
      * charges the master ROB; Noreba charges the ROB' instead (steered
      * instructions live in the commit queues).
      */
-    virtual bool windowHasSpace(const Core &core) const;
+    virtual bool windowHasSpace(const PipelineView &view) const;
 
     virtual const char *name() const = 0;
 };

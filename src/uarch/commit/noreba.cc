@@ -32,7 +32,7 @@
 
 #include "common/logging.h"
 #include "uarch/commit/commit_policy.h"
-#include "uarch/core.h"
+#include "uarch/pipeline_view.h"
 
 namespace noreba {
 
@@ -47,34 +47,34 @@ class NorebaCommit : public CommitPolicy
     }
 
     void
-    onDispatch(Core &core, InFlight *p) override
+    onDispatch(PipelineView &view, InFlight *p) override
     {
-        (void)core;
+        (void)view;
         robPrime_.push_back(p);
     }
 
     bool
-    windowHasSpace(const Core &core) const override
+    windowHasSpace(const PipelineView &view) const override
     {
         // Steered instructions have released their ROB' entry; only the
         // un-steered ones occupy it (Section 4.2: ROB' size equals the
         // baseline ROB).
         return robPrime_.size() <
-               static_cast<size_t>(core.config().robEntries);
+               static_cast<size_t>(view.config().robEntries);
     }
 
     void
-    commitCycle(Core &core) override
+    commitCycle(PipelineView &view) override
     {
-        reclaimCit(core);
-        commitFromQueues(core);
-        steer(core);
+        reclaimCit(view);
+        commitFromQueues(view);
+        steer(view);
     }
 
     void
-    onSquash(Core &core, TraceIdx after) override
+    onSquash(PipelineView &view, TraceIdx after) override
     {
-        (void)core;
+        (void)view;
         auto purge = [after](std::deque<InFlight *> &q) {
             while (!q.empty() && q.back()->idx > after)
                 q.pop_back();
@@ -109,21 +109,21 @@ class NorebaCommit : public CommitPolicy
     }
 
     bool
-    headEligible(Core &core, InFlight *p) const
+    headEligible(const PipelineView &view, InFlight *p) const
     {
         if (p->isBranch) {
             // A branch must itself be on a proven path before it
             // commits: its compiler guard chain has to be resolved
             // (C5 applied to the branch's own marked dependence).
             return p->resolved && p->completed &&
-                   core.commitEligibleBasic(p) &&
-                   core.guardChainResolved(p);
+                   view.commitEligibleBasic(p) &&
+                   view.guardChainResolved(p);
         }
         // Order-sensitive instructions (cross-instance data flows) must
         // re-validate their chain sites at the head: sitting behind the
         // guard in the FIFO only proves the *latest* instance committed.
         if ((p->rec->orderSensitive || p->rec->orderStrict) &&
-            !core.guardChainResolved(p))
+            !view.guardChainResolved(p))
             return false;
         // Footnote-1 C1/C3 relaxation: commit is non-speculative
         // *resource recovery*. Once an instruction cannot trap (memory
@@ -132,15 +132,15 @@ class NorebaCommit : public CommitPolicy
         // are reclaimed even before the result returns; execution
         // completes in the background.
         if (isMem(p->rec->op))
-            return core.tlbDone(p) && core.fenceAllows(p);
-        return core.fenceAllows(p) &&
-               (p->rec->op != Opcode::FENCE || core.commitEligibleBasic(p));
+            return view.tlbDone(p) && view.fenceAllows(p);
+        return view.fenceAllows(p) &&
+               (p->rec->op != Opcode::FENCE || view.commitEligibleBasic(p));
     }
 
     void
-    commitFromQueues(Core &core)
+    commitFromQueues(PipelineView &view)
     {
-        int budget = core.config().commitWidth;
+        int budget = view.config().commitWidth;
         const int nq = static_cast<int>(brCqs_.size());
         std::fill(blocked_.begin(), blocked_.end(), 0);
 
@@ -154,7 +154,7 @@ class NorebaCommit : public CommitPolicy
                 if (q.empty())
                     continue;
                 InFlight *h = q.front();
-                if (!headEligible(core, h))
+                if (!headEligible(view, h))
                     continue;
                 if (!best || h->idx < best->idx) {
                     best = h;
@@ -172,35 +172,35 @@ class NorebaCommit : public CommitPolicy
             // Each entry records the most recent unresolved branch at
             // commit time and is reclaimed when that branch commits
             // (Section 4.3).
-            if (best->idx > core.oldestUncommitted()) {
+            if (best->idx > view.oldestUncommitted()) {
                 if (citLive_ >= srob_.citEntries) {
-                    ++core.stats().citFullStalls;
+                    ++view.stats().citFullStalls;
                     blocked_[static_cast<size_t>(bestCq + 1)] = 1;
                     continue;
                 }
-                TraceIdx guard = core.youngestUnresolvedBefore(best->idx);
+                TraceIdx guard = view.youngestUnresolvedBefore(best->idx);
                 if (guard != TRACE_NONE) {
                     ++citByGuard_[guard];
                     ++citLive_;
                 }
                 // With no older unresolved branch the entry can never
                 // be re-fetched; it is reclaimed immediately.
-                ++core.stats().citOps;
+                ++view.stats().citOps;
             }
 
-            core.commit(best);
+            view.commit(best);
             queueOf(bestCq).pop_front();
-            ++core.stats().cqOps;
+            ++view.stats().cqOps;
             if (best->isBranch) {
                 auto it = cqt_.find(best->idx);
                 if (it != cqt_.end()) {
                     cqt_.erase(it);
-                    ++core.stats().cqtOps;
+                    ++view.stats().cqtOps;
                 }
                 auto git = citByGuard_.find(best->idx);
                 if (git != citByGuard_.end()) {
                     citLive_ -= git->second;
-                    core.stats().citOps +=
+                    view.stats().citOps +=
                         static_cast<uint64_t>(git->second);
                     citByGuard_.erase(git);
                 }
@@ -210,24 +210,24 @@ class NorebaCommit : public CommitPolicy
     }
 
     void
-    steer(Core &core)
+    steer(PipelineView &view)
     {
-        int budget = core.config().steerWidth;
+        int budget = view.config().steerWidth;
         bool stalled = false;
         while (budget > 0 && !robPrime_.empty()) {
             InFlight *p = robPrime_.front();
             const TraceRecord &rec = *p->rec;
 
             // In-order page-table check before leaving the ROB'.
-            if (isMem(rec.op) && !core.tlbDone(p)) {
+            if (isMem(rec.op) && !view.tlbDone(p)) {
                 stalled = true;
-                ++core.stats().steerStallTlb;
+                ++view.stats().steerStallTlb;
                 break;
             }
 
             int targetCq = -1; // -1 encodes the PR-CQ
             if (rec.guardIdx >= 0) {
-                ++core.stats().cqtOps;
+                ++view.stats().cqtOps;
                 auto it = cqt_.find(rec.guardIdx);
                 if (it != cqt_.end())
                     targetCq = it->second;
@@ -237,7 +237,7 @@ class NorebaCommit : public CommitPolicy
                 if (cqt_.size() >=
                     static_cast<size_t>(srob_.cqtEntries)) {
                     stalled = true;
-                    ++core.stats().steerStallCqt;
+                    ++view.stats().steerStallCqt;
                     break; // CQT full: the ROB' head waits
                 }
                 if (!p->resolved) {
@@ -249,22 +249,22 @@ class NorebaCommit : public CommitPolicy
                     targetCq = pickBrCq();
                     if (targetCq == -2) {
                         stalled = true;
-                        ++core.stats().steerStallCqFull;
+                        ++view.stats().steerStallCqFull;
                         break; // all BR-CQs full
                     }
                 }
                 if (queueOf(targetCq).size() >= capacityOf(targetCq)) {
                     stalled = true;
-                    ++core.stats().steerStallCqFull;
+                    ++view.stats().steerStallCqFull;
                     break;
                 }
                 queueOf(targetCq).push_back(p);
                 cqt_[p->idx] = targetCq;
-                ++core.stats().cqtOps;
+                ++view.stats().cqtOps;
             } else {
                 if (queueOf(targetCq).size() >= capacityOf(targetCq)) {
                     stalled = true;
-                    ++core.stats().steerStallCqFull;
+                    ++view.stats().steerStallCqFull;
                     break;
                 }
                 queueOf(targetCq).push_back(p);
@@ -272,12 +272,12 @@ class NorebaCommit : public CommitPolicy
 
             p->steered = true;
             p->cq = targetCq;
-            ++core.stats().cqOps;
+            ++view.stats().cqOps;
             robPrime_.pop_front();
             --budget;
         }
         if (stalled)
-            ++core.stats().steerStallCycles;
+            ++view.stats().steerStallCycles;
     }
 
     /**
@@ -311,20 +311,20 @@ class NorebaCommit : public CommitPolicy
     }
 
     void
-    reclaimCit(Core &core)
+    reclaimCit(PipelineView &view)
     {
         // Guard branches that resolved correctly and committed free
         // their groups in commitFromQueues; groups whose guard vanished
         // in a squash are reclaimed here.
         for (auto it = citByGuard_.begin(); it != citByGuard_.end();) {
             TraceIdx g = it->first;
-            if (!core.isCommitted(g) && core.findInFlight(g) == nullptr) {
+            if (!view.isCommitted(g) && view.findInFlight(g) == nullptr) {
                 citLive_ -= it->second;
-                core.stats().citOps += static_cast<uint64_t>(it->second);
+                view.stats().citOps += static_cast<uint64_t>(it->second);
                 it = citByGuard_.erase(it);
-            } else if (core.isCommitted(g)) {
+            } else if (view.isCommitted(g)) {
                 citLive_ -= it->second;
-                core.stats().citOps += static_cast<uint64_t>(it->second);
+                view.stats().citOps += static_cast<uint64_t>(it->second);
                 it = citByGuard_.erase(it);
             } else {
                 ++it;

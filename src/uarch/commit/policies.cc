@@ -13,12 +13,16 @@
  *  - IdealReconvCommit: the paper's compiler information with an ideal
  *    ROB — commit anything completed whose *compiler guard chain* has
  *    resolved, without queue or table capacity limits.
+ *
+ * Every policy walks the uncommitted frontier (PipelineView), which is
+ * the master ROB minus already-retired entries, in program order; a
+ * commit unlinks the visited node, so loops grab the successor first.
  */
 
 #include "uarch/commit/commit_policy.h"
 
 #include "common/logging.h"
-#include "uarch/core.h"
+#include "uarch/pipeline_view.h"
 
 namespace noreba {
 
@@ -27,16 +31,16 @@ class InOrderCommit : public CommitPolicy
 {
   public:
     void
-    commitCycle(Core &core) override
+    commitCycle(PipelineView &view) override
     {
-        int budget = core.config().commitWidth;
-        for (InFlight *p : core.rob()) {
-            if (p->committed)
-                continue;
-            if (budget == 0 || !core.commitEligibleBasic(p))
+        int budget = view.config().commitWidth;
+        for (InFlight *p = view.uncommittedHead(); p;) {
+            InFlight *next = PipelineView::uncommittedNext(p);
+            if (budget == 0 || !view.commitEligibleBasic(p))
                 break;
-            core.commit(p);
+            view.commit(p);
             --budget;
+            p = next;
         }
     }
 
@@ -48,26 +52,26 @@ class NonSpecOoOCommit : public CommitPolicy
 {
   public:
     void
-    commitCycle(Core &core) override
+    commitCycle(PipelineView &view) override
     {
-        int budget = core.config().commitWidth;
-        TraceIdx brBar = core.oldestUnresolvedBranch();
-        TraceIdx memBar = core.oldestUncheckedMem();
-        for (InFlight *p : core.rob()) {
+        int budget = view.config().commitWidth;
+        TraceIdx brBar = view.oldestUnresolvedBranch();
+        TraceIdx memBar = view.oldestUncheckedMem();
+        for (InFlight *p = view.uncommittedHead(); p;) {
+            InFlight *next = PipelineView::uncommittedNext(p);
             if (budget == 0)
                 break;
-            if (p->committed)
-                continue;
             // Conditions 2/4/5: no older unresolved branch, no older
             // untranslated memory op (RISC-V FP does not trap). The
             // barrier instruction itself cannot be eligible yet, so a
             // >= break is exact.
             if (p->idx >= brBar || p->idx >= memBar)
                 break;
-            if (!core.commitEligibleBasic(p))
-                continue;
-            core.commit(p);
-            --budget;
+            if (view.commitEligibleBasic(p)) {
+                view.commit(p);
+                --budget;
+            }
+            p = next;
         }
     }
 
@@ -84,30 +88,31 @@ class SpeculativeCommit : public CommitPolicy
     }
 
     void
-    commitCycle(Core &core) override
+    commitCycle(PipelineView &view) override
     {
-        int budget = core.config().commitWidth;
+        int budget = view.config().commitWidth;
         TraceIdx memBar =
-            keepMemCondition_ ? core.oldestUncheckedMem() : INT32_MAX;
-        for (InFlight *p : core.rob()) {
+            keepMemCondition_ ? view.oldestUncheckedMem() : INT32_MAX;
+        for (InFlight *p = view.uncommittedHead(); p;) {
+            InFlight *next = PipelineView::uncommittedNext(p);
             if (budget == 0)
                 break;
-            if (p->committed)
-                continue;
             if (p->idx >= memBar)
                 break;
             // Oracle resource recovery: C1/C3 relaxed (footnote 1), C5
             // dropped entirely; only the memory condition (when kept)
             // and fences gate reclamation.
-            if (!core.fenceAllows(p))
+            if (!view.fenceAllows(p))
                 break;
-            if (isMem(p->rec->op) && !core.tlbDone(p))
+            if ((isMem(p->rec->op) && !view.tlbDone(p)) ||
+                (p->rec->op == Opcode::FENCE &&
+                 !view.commitEligibleBasic(p))) {
+                p = next;
                 continue;
-            if (p->rec->op == Opcode::FENCE &&
-                !core.commitEligibleBasic(p))
-                continue;
-            core.commit(p);
+            }
+            view.commit(p);
             --budget;
+            p = next;
         }
     }
 
@@ -126,32 +131,31 @@ class IdealReconvCommit : public CommitPolicy
 {
   public:
     void
-    commitCycle(Core &core) override
+    commitCycle(PipelineView &view) override
     {
-        int budget = core.config().commitWidth;
-        TraceIdx memBar = core.oldestUncheckedMem();
-        for (InFlight *p : core.rob()) {
+        int budget = view.config().commitWidth;
+        TraceIdx memBar = view.oldestUncheckedMem();
+        for (InFlight *p = view.uncommittedHead(); p;) {
+            InFlight *next = PipelineView::uncommittedNext(p);
             if (budget == 0)
                 break;
-            if (p->committed)
-                continue;
             if (p->idx >= memBar)
                 break;
-            if (!core.fenceAllows(p))
+            if (!view.fenceAllows(p))
                 break;
             // Same commit conditions as Noreba (C1/C3 relaxed, guards
             // from the compiler), but with ideal reordering hardware.
-            if (p->isBranch && !(p->resolved && p->completed))
-                continue;
-            if (isMem(p->rec->op) && !core.tlbDone(p))
-                continue;
-            if (p->rec->op == Opcode::FENCE &&
-                !core.commitEligibleBasic(p))
-                continue;
-            if (!core.guardChainResolved(p))
-                continue;
-            core.commit(p);
-            --budget;
+            bool skip =
+                (p->isBranch && !(p->resolved && p->completed)) ||
+                (isMem(p->rec->op) && !view.tlbDone(p)) ||
+                (p->rec->op == Opcode::FENCE &&
+                 !view.commitEligibleBasic(p)) ||
+                !view.guardChainResolved(p);
+            if (!skip) {
+                view.commit(p);
+                --budget;
+            }
+            p = next;
         }
     }
 
@@ -175,29 +179,31 @@ class ValidationBufferCommit : public CommitPolicy
 {
   public:
     void
-    commitCycle(Core &core) override
+    commitCycle(PipelineView &view) override
     {
         if (nextBranch_.empty())
-            buildEpochs(core);
-        int budget = core.config().commitWidth;
-        TraceIdx brBar = core.oldestUnresolvedBranch();
-        TraceIdx memBar = core.oldestUncheckedMem();
-        for (InFlight *p : core.rob()) {
+            buildEpochs(view);
+        int budget = view.config().commitWidth;
+        TraceIdx brBar = view.oldestUnresolvedBranch();
+        TraceIdx memBar = view.oldestUncheckedMem();
+        for (InFlight *p = view.uncommittedHead(); p;) {
+            InFlight *next = PipelineView::uncommittedNext(p);
             if (budget == 0)
                 break;
-            if (p->committed)
-                continue;
             if (p->idx >= memBar)
                 break;
-            if (!core.commitEligibleBasic(p))
-                continue;
-            // The closing initiator (and everything older) resolved?
-            TraceIdx closer = nextBranch_[static_cast<size_t>(p->idx)];
-            TraceIdx needed = closer == TRACE_NONE ? p->idx : closer;
-            if (needed >= brBar)
-                continue;
-            core.commit(p);
-            --budget;
+            if (view.commitEligibleBasic(p)) {
+                // The closing initiator (and everything older)
+                // resolved?
+                TraceIdx closer =
+                    nextBranch_[static_cast<size_t>(p->idx)];
+                TraceIdx needed = closer == TRACE_NONE ? p->idx : closer;
+                if (needed < brBar) {
+                    view.commit(p);
+                    --budget;
+                }
+            }
+            p = next;
         }
     }
 
@@ -205,9 +211,9 @@ class ValidationBufferCommit : public CommitPolicy
 
   private:
     void
-    buildEpochs(Core &core)
+    buildEpochs(const PipelineView &view)
     {
-        const TraceView &trace = core.trace();
+        const TraceView &trace = view.trace();
         nextBranch_.assign(trace.size(), TRACE_NONE);
         TraceIdx next = TRACE_NONE;
         for (size_t i = trace.size(); i-- > 0;) {
@@ -219,6 +225,14 @@ class ValidationBufferCommit : public CommitPolicy
 
     std::vector<TraceIdx> nextBranch_;
 };
+
+bool
+CommitPolicy::windowHasSpace(const PipelineView &view) const
+{
+    // Collapsing/conventional ROB: an entry is reclaimed the moment it
+    // commits, so occupancy is the uncommitted in-flight count.
+    return view.windowUsed() < view.config().robEntries;
+}
 
 std::unique_ptr<CommitPolicy> makeNorebaCommit(const CoreConfig &cfg);
 

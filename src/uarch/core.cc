@@ -35,6 +35,15 @@ Core::Core(const CoreConfig &cfg, TraceView trace,
 {
     panic_if(misp.size() != trace_.size(),
              "misprediction vector does not match the trace");
+    view_.cfg_ = &cfg_;
+    view_.trace_ = &trace_;
+    view_.cycle_ = &cycle_;
+    view_.stats_ = &stats_;
+    view_.committed_ = &committed_;
+    view_.cursor_ = &cursor_;
+    view_.windowUsed_ = &windowUsed_;
+    view_.index_ = &index_;
+    view_.core_ = this;
     // All policies — oracles included — pay the front-end cost of
     // re-fetching instructions that already committed out-of-order
     // (they are dropped at decode). The paper's "no misspeculation
@@ -45,6 +54,12 @@ Core::Core(const CoreConfig &cfg, TraceView trace,
 }
 
 Core::~Core() = default;
+
+void
+PipelineView::commit(InFlight *p)
+{
+    core_->commit(p);
+}
 
 InFlight *
 Core::alloc()
@@ -66,130 +81,18 @@ Core::alloc()
 void
 Core::free(InFlight *p)
 {
-    auto it = inflightByIdx_.find(p->idx);
-    if (it != inflightByIdx_.end() && it->second == p)
-        inflightByIdx_.erase(it);
+    index_.onFree(p);
     ++p->gen;
     freeList_.push_back(p);
 }
 
-InFlight *
-Core::findInFlight(TraceIdx idx) const
+void
+Core::startTlbCheck(InFlight *p)
 {
-    auto it = inflightByIdx_.find(idx);
-    return it == inflightByIdx_.end() ? nullptr : it->second;
-}
-
-TraceIdx
-Core::youngestUnresolvedBefore(TraceIdx idx) const
-{
-    auto it = unresolvedBranches_.lower_bound(idx);
-    if (it == unresolvedBranches_.begin())
-        return TRACE_NONE;
-    return *std::prev(it);
-}
-
-TraceIdx
-Core::oldestUnresolvedBranch() const
-{
-    for (InFlight *p : rob_)
-        if (!p->committed && p->isBranch && !p->resolved)
-            return p->idx;
-    return INT32_MAX;
-}
-
-TraceIdx
-Core::oldestUncheckedMem() const
-{
-    for (InFlight *p : rob_) {
-        if (p->committed)
-            continue;
-        if (isMem(p->rec->op) && !tlbDone(p))
-            return p->idx;
-    }
-    return INT32_MAX;
-}
-
-bool
-Core::fenceAllows(const InFlight *p) const
-{
-    // Multi-core barrier: a FENCE and everything younger commit in
-    // program order (Section 4.5).
-    return fences_.empty() || *fences_.begin() >= p->idx;
-}
-
-bool
-Core::commitEligibleBasic(const InFlight *p) const
-{
-    if (!fenceAllows(p))
-        return false;
-    if (p->rec->op == Opcode::FENCE)
-        return p->completed && p->idx == cursor_;
-    if (p->completed)
-        return true;
-    // ECL: a load may retire once it is guaranteed not to fault
-    // (translation succeeded), even before its data returns [DeSC].
-    if (cfg_.earlyCommitLoads && isLoad(p->rec->op) && tlbDone(p))
-        return true;
-    return false;
-}
-
-bool
-Core::olderSamePcUnresolved(const InFlight *f) const
-{
-    return olderSitePcUnresolved(f->rec->pc, f->idx);
-}
-
-bool
-Core::olderSitePcUnresolved(uint64_t pc, TraceIdx before) const
-{
-    if (!cfg_.srob.enforceInstanceOrder)
-        return false;
-    for (auto it = unresolvedBranches_.begin();
-         it != unresolvedBranches_.end() && *it < before; ++it) {
-        if (trace_[static_cast<size_t>(*it)].pc == pc)
-            return true;
-    }
-    return false;
-}
-
-bool
-Core::guardChainResolved(InFlight *p)
-{
-    // Walk the dynamic guard chain. Every element must have resolved.
-    // For *order-sensitive* instructions (cross-instance data flows,
-    // see the compiler pass), each chain site must additionally have
-    // no older unresolved instance: the chain only names the latest
-    // instance of each site, but the consumed values may have flowed
-    // through older ones. The walk continues through committed
-    // elements for that purpose, and stops as soon as no branch older
-    // than the element is unresolved (nothing left to wait for).
-    if (cfg_.srob.enforceInstanceOrder && p->rec->orderStrict &&
-        youngestUnresolvedBefore(p->idx) != TRACE_NONE) {
-        // Strict region: the marking could not express this
-        // instruction's dependence, so it waits for full Condition 5.
-        return false;
-    }
-    const bool sensitive = p->rec->orderSensitive;
-    TraceIdx g = p->rec->guardIdx;
-    while (g >= 0) {
-        if (unresolvedBranches_.empty() ||
-            *unresolvedBranches_.begin() > g) {
-            break; // everything at or below g has resolved
-        }
-        const TraceRecord &rec = trace_[static_cast<size_t>(g)];
-        if (sensitive && olderSitePcUnresolved(rec.pc, g))
-            return false;
-        if (!committed_[static_cast<size_t>(g)]) {
-            InFlight *f = findInFlight(g);
-            if (!f)
-                return false; // guard squashed: treat as unresolved
-            if (!f->resolved)
-                return false;
-        }
-        g = rec.guardIdx;
-    }
-    return true;
+    int tlbLat = tlb_.access(p->rec->addrOrImm);
+    p->tlbChecked = true;
+    p->tlbDoneAt = cycle_ + static_cast<Cycle>(tlbLat);
+    index_.onTlbCheck(p);
 }
 
 void
@@ -197,19 +100,19 @@ Core::commit(InFlight *p)
 {
     panic_if(p->committed, "double commit of trace idx %d", p->idx);
     if (commitHook)
-        commitHook(*this, *p);
+        commitHook(view_, *p);
     committed_[static_cast<size_t>(p->idx)] = 1;
     p->committed = true;
     ++commitsThisCycle_;
     ++stats_.committedInsts;
     // "Committed out of order" in the paper's sense: retired while an
     // older branch was still unresolved (Condition 5 relaxed).
-    if (!unresolvedBranches_.empty() &&
-        *unresolvedBranches_.begin() < p->idx) {
+    TraceIdx oldestBranch = index_.oldestUnresolved();
+    if (oldestBranch != TRACE_NONE && oldestBranch < p->idx)
         ++stats_.committedOoO;
-    }
     if (p->idx > cursor_)
         ++stats_.committedAhead;
+    index_.onCommit(p);
 
     --windowUsed_;
     ++stats_.robReads;
@@ -229,8 +132,6 @@ Core::commit(InFlight *p)
         if (it != sq_.end())
             sq_.erase(it);
     }
-    if (rec.op == Opcode::FENCE)
-        fences_.erase(p->idx);
     // Advance eagerly so "out of order" means "older work still
     // pending at the moment of commit", and so CIT reclamation and
     // allocation see an exact in-order frontier.
@@ -259,8 +160,6 @@ Core::releaseResources(InFlight *p)
         --sqUsed_;
     if (p->inIq)
         --iqUsed_;
-    if (rec.op == Opcode::FENCE)
-        fences_.erase(p->idx);
 }
 
 void
@@ -268,9 +167,8 @@ Core::rebuildRenameTable()
 {
     for (auto &ref : renameTable_)
         ref = InFlight::SrcRef{};
-    for (InFlight *p : rob_) {
-        if (p->committed)
-            continue;
+    for (InFlight *p = index_.frontierHead(); p;
+         p = PipelineIndex::frontierNext(p)) {
         if (recHasDest(*p->rec))
             renameTable_[p->rec->rd] = {p, p->gen};
     }
@@ -301,6 +199,7 @@ Core::squashAfter(InFlight *b)
     while (!rob_.empty() && rob_.back()->idx > b->idx) {
         InFlight *p = rob_.back();
         rob_.pop_back();
+        p->inRob = false;
         if (p->committed) {
             if (p->completed) {
                 free(p);
@@ -317,8 +216,7 @@ Core::squashAfter(InFlight *b)
         }
     }
 
-    unresolvedBranches_.erase(unresolvedBranches_.upper_bound(b->idx),
-                              unresolvedBranches_.end());
+    index_.onSquash(b->idx);
 
     auto isSquashed = [b](InFlight *p) { return p->idx > b->idx; };
     iq_.erase(std::remove_if(iq_.begin(), iq_.end(),
@@ -332,7 +230,7 @@ Core::squashAfter(InFlight *b)
                              }),
               sq_.end());
 
-    policy_->onSquash(*this, b->idx);
+    policy_->onSquash(view_, b->idx);
 
     for (InFlight *p : squashed)
         free(p);
@@ -359,7 +257,7 @@ Core::writebackStage()
             // real in every design (only the architectural rollback is
             // the oracle's freebie).
             p->resolved = true;
-            unresolvedBranches_.erase(p->idx);
+            index_.onResolve(p);
             ++stats_.branches;
             if (p->mispredicted) {
                 ++stats_.mispredicts;
@@ -368,9 +266,7 @@ Core::writebackStage()
         }
         if (p->committed) {
             // An early-reclaimed zombie finishing after commit.
-            bool inRob =
-                std::find(rob_.begin(), rob_.end(), p) != rob_.end();
-            if (!inRob)
+            if (!p->inRob)
                 free(p);
             continue;
         }
@@ -381,13 +277,14 @@ void
 Core::commitStage()
 {
     commitsThisCycle_ = 0;
-    policy_->commitCycle(*this);
+    policy_->commitCycle(view_);
     advanceCursor();
 
     // Reclaim fully-retired entries at the head of the master ROB.
     while (!rob_.empty() && rob_.front()->committed) {
         InFlight *p = rob_.front();
         rob_.pop_front();
+        p->inRob = false;
         if (p->completed)
             free(p);
         // else an ECL zombie: its completion event frees it.
@@ -399,12 +296,12 @@ Core::commitStage()
             ++stats_.commitHeadBranchStall;
         else if (isMem(head->rec->op) && !head->completed)
             ++stats_.commitHeadLoadStall;
-        if (cfg_.attributeStalls && !unresolvedBranches_.empty()) {
+        TraceIdx b = index_.oldestUnresolved();
+        if (cfg_.attributeStalls && b != TRACE_NONE) {
             // Figure 7: charge the stalled cycle to the oldest branch
             // that is still unresolved — the one in-order commit (and
             // every non-speculative OoO-commit condition) is waiting
             // for before the window can drain.
-            TraceIdx b = *unresolvedBranches_.begin();
             ++stats_.branchStalls[trace_[static_cast<size_t>(b)]
                                       .pc]
                   .stallCycles;
@@ -458,9 +355,8 @@ Core::loadLatency(InFlight *p, bool &blocked)
         }
         forward = true;
     }
-    int tlbLat = tlb_.access(rec.addrOrImm);
-    p->tlbChecked = true;
-    p->tlbDoneAt = cycle_ + static_cast<Cycle>(tlbLat);
+    startTlbCheck(p);
+    int tlbLat = static_cast<int>(p->tlbDoneAt - cycle_);
     if (forward)
         return tlbLat + 2; // store-to-load forwarding
     int cacheLat = mem_.access(rec.addrOrImm, false);
@@ -480,11 +376,8 @@ Core::issueStage()
     // page-table check (which gates NOREBA steering and the C2 memory
     // barrier) needs only the address operand.
     for (InFlight *p : iq_) {
-        if (isStore(p->rec->op) && !p->tlbChecked && p->addrReady()) {
-            int tlbLat = tlb_.access(p->rec->addrOrImm);
-            p->tlbChecked = true;
-            p->tlbDoneAt = cycle_ + static_cast<Cycle>(tlbLat);
-        }
+        if (isStore(p->rec->op) && !p->tlbChecked && p->addrReady())
+            startTlbCheck(p);
     }
 
     size_t out = 0;
@@ -500,12 +393,8 @@ Core::issueStage()
                 if (isLoad(rec.op)) {
                     latency = loadLatency(p, blocked);
                 } else if (isStore(rec.op)) {
-                    if (!p->tlbChecked) {
-                        int tlbLat = tlb_.access(rec.addrOrImm);
-                        p->tlbChecked = true;
-                        p->tlbDoneAt =
-                            cycle_ + static_cast<Cycle>(tlbLat);
-                    }
+                    if (!p->tlbChecked)
+                        startTlbCheck(p);
                     latency = 1;
                 } else {
                     latency = execLatency(rec.op);
@@ -561,7 +450,7 @@ Core::dispatchStage()
         const TraceRecord &rec = *p->rec;
         FuClass cls = fuClass(rec.op);
 
-        if (!policy_->windowHasSpace(*this)) {
+        if (!policy_->windowHasSpace(view_)) {
             if (!chargedWindowStall) {
                 ++stats_.windowFullCycles;
                 chargedWindowStall = true;
@@ -600,10 +489,9 @@ Core::dispatchStage()
         ++stats_.dispatched;
 
         rob_.push_back(p);
+        p->inRob = true;
         ++windowUsed_;
-        inflightByIdx_[p->idx] = p;
-        if (p->isBranch)
-            unresolvedBranches_.insert(p->idx);
+        index_.onDispatch(p);
 
         if (cls == FuClass::None) {
             p->completed = true; // NOP/HALT: nothing to execute
@@ -619,8 +507,6 @@ Core::dispatchStage()
             ++sqUsed_;
             sq_.push_back(p);
         }
-        if (rec.op == Opcode::FENCE)
-            fences_.insert(p->idx);
 
         if (cfg_.attributeStalls) {
             if (p->isBranch)
@@ -630,7 +516,7 @@ Core::dispatchStage()
                       .dependents;
         }
 
-        policy_->onDispatch(*this, p);
+        policy_->onDispatch(view_, p);
         --budget;
     }
 }
@@ -738,6 +624,9 @@ Core::run()
         decodeStage();
         fetchStage();
 
+        if (cfg_.shadowIndexCheck)
+            index_.shadowVerify(rob_, cycle_, trace_);
+
         if (cursor_ != lastCursor) {
             lastCursor = cursor_;
             lastProgress = cycle_;
@@ -753,14 +642,6 @@ Core::run()
     stats_.l2Accesses = mem_.l2().hits() + mem_.l2().misses();
     stats_.l3Accesses = mem_.l3().hits() + mem_.l3().misses();
     return stats_;
-}
-
-bool
-CommitPolicy::windowHasSpace(const Core &core) const
-{
-    // Collapsing/conventional ROB: an entry is reclaimed the moment it
-    // commits, so occupancy is the uncommitted in-flight count.
-    return core.windowUsed() < core.config().robEntries;
 }
 
 } // namespace noreba

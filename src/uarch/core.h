@@ -7,6 +7,13 @@
  * writeback (wakeup, branch resolution, misprediction squash) and a
  * pluggable commit stage (see uarch/commit/).
  *
+ * Commit policies never touch the Core class: they consume a
+ * PipelineView (uarch/pipeline_view.h), a narrow facade whose ordering
+ * queries are answered by the incrementally maintained PipelineIndex.
+ * The core drives the index from the pipeline events themselves —
+ * dispatch, branch resolution, TLB-check start, commit, squash, pool
+ * recycle — so no per-cycle ROB scan is ever needed.
+ *
  * Misprediction handling: fetch continues past a mispredicted branch
  * (the subsequent correct-path trace stands in for wrong-path fetch);
  * at resolution, younger *uncommitted* instructions are squashed and
@@ -23,8 +30,6 @@
 #include <functional>
 #include <memory>
 #include <queue>
-#include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "uarch/branch_predictor.h"
@@ -32,6 +37,8 @@
 #include "uarch/commit/commit_policy.h"
 #include "uarch/config.h"
 #include "uarch/inflight.h"
+#include "uarch/pipeline_index.h"
+#include "uarch/pipeline_view.h"
 #include "uarch/prefetcher.h"
 #include "uarch/stats.h"
 
@@ -54,93 +61,16 @@ class Core
     /** Simulate until every trace record has committed. */
     CoreStats run();
 
-    /** @name Policy-facing API @{ */
-    const CoreConfig &config() const { return cfg_; }
-    Cycle now() const { return cycle_; }
-    const TraceView &trace() const { return trace_; }
-    CoreStats &stats() { return stats_; }
-
-    /** Master ROB: dispatched, not yet reclaimed, program order. */
-    std::deque<InFlight *> &rob() { return rob_; }
-
-    /** Dispatched-but-uncommitted instruction count (ROB occupancy). */
-    int windowUsed() const { return windowUsed_; }
-
-    /** Oldest not-yet-committed trace index (== size() when done). */
-    TraceIdx oldestUncommitted() const { return cursor_; }
-
-    bool
-    isCommitted(TraceIdx idx) const
-    {
-        return committed_[static_cast<size_t>(idx)] != 0;
-    }
-
-    /** Retire one instruction: resources freed, stats updated. */
-    void commit(InFlight *p);
-
-    /** Trace index of the oldest in-flight unresolved branch. */
-    TraceIdx oldestUnresolvedBranch() const;
-
-    /** Oldest in-flight memory op whose TLB check hasn't completed. */
-    TraceIdx oldestUncheckedMem() const;
-
-    /** Memory op with its address translated by now. */
-    bool
-    tlbDone(const InFlight *p) const
-    {
-        return p->tlbChecked && cycle_ >= p->tlbDoneAt;
-    }
-
-    /**
-     * Basic commit eligibility shared by all policies: completed (or an
-     * ECL-eligible load) and not blocked by an older FENCE.
-     */
-    bool commitEligibleBasic(const InFlight *p) const;
-
-    /** No older uncommitted FENCE blocks this instruction. */
-    bool fenceAllows(const InFlight *p) const;
-
-    /** The instruction's full compiler guard chain has resolved. */
-    bool guardChainResolved(InFlight *p);
-
-    /**
-     * An older, still-unresolved dynamic instance of the same static
-     * branch exists. Dependents are marked with the *latest* instance
-     * (the BIT holds one sequence number per ID), so instances of one
-     * static branch must retire in order for that marking to be sound.
-     */
-    bool olderSamePcUnresolved(const InFlight *f) const;
-
-    /** Same check by static site PC, for (possibly committed) chain
-     *  elements older than `before`. */
-    bool olderSitePcUnresolved(uint64_t pc, TraceIdx before) const;
-
-    /** Find an in-flight instruction by trace index (nullptr if none). */
-    InFlight *findInFlight(TraceIdx idx) const;
-
-    /**
-     * Youngest in-flight unresolved branch older than `idx`, or
-     * TRACE_NONE. This is the "most recent unresolved branch" recorded
-     * with each CIT entry (Section 4.3).
-     */
-    TraceIdx youngestUnresolvedBefore(TraceIdx idx) const;
-
-    /** Dispatched branches that have not resolved yet (test oracle). */
-    const std::set<TraceIdx> &unresolvedBranches() const
-    {
-        return unresolvedBranches_;
-    }
-
     /**
      * Test-only observation hook, invoked on every commit with the
      * retiring instruction (before resources are released). Used by the
      * dynamic safety checker in the test suite.
      */
-    std::function<void(const Core &, const InFlight &)> commitHook;
-    /** @} */
+    std::function<void(const PipelineView &, const InFlight &)>
+        commitHook;
 
   private:
-    friend class CommitPolicy;
+    friend class PipelineView; // commit() forwarding only
 
     /** @name Pipeline stages (one call per cycle each) @{ */
     void writebackStage();
@@ -151,12 +81,19 @@ class Core
     void fetchStage();
     /** @} */
 
+    /** Retire one instruction: resources freed, stats updated. */
+    void commit(InFlight *p);
+
     /** Squash everything younger than `b` that has not committed. */
     void squashAfter(InFlight *b);
 
     /** Release pool storage (bumps the generation). */
     void free(InFlight *p);
     InFlight *alloc();
+
+    /** The instruction finished its address generation: start the
+     *  page-table check and index it for the C2 memory barrier. */
+    void startTlbCheck(InFlight *p);
 
     void releaseResources(InFlight *p);
     void rebuildRenameTable();
@@ -197,9 +134,6 @@ class Core
     int sqUsed_ = 0;
     int physUsed_ = 0;
     InFlight::SrcRef renameTable_[NUM_ARCH_REGS];
-    std::set<TraceIdx> fences_;
-    std::set<TraceIdx> unresolvedBranches_; //!< dispatched, unresolved
-    std::unordered_map<TraceIdx, InFlight *> inflightByIdx_;
     uint64_t nextSeq_ = 1;
     /** @} */
 
@@ -229,16 +163,14 @@ class Core
     uint64_t commitsThisCycle_ = 0;
     /** @} */
 
+    /** Incremental pipeline-state indices + the policies' facade. */
+    PipelineIndex index_;
+    PipelineView view_;
+
     Cycle cycle_ = 0;
     CoreStats stats_;
     /** Oracle policies skip re-fetch of committed records for free. */
     bool freeCommittedSkip_ = false;
-
-    friend class InOrderCommit;
-    friend class NonSpecOoOCommit;
-    friend class NorebaCommit;
-    friend class IdealReconvCommit;
-    friend class SpeculativeCommit;
 };
 
 } // namespace noreba

@@ -77,6 +77,13 @@ struct InFlight
     Cycle guardOkCycle = 0;
     /** @} */
 
+    /** @name PipelineIndex bookkeeping (Core-internal) @{ */
+    InFlight *frontPrev = nullptr; //!< uncommitted-frontier links
+    InFlight *frontNext = nullptr;
+    bool inFrontier = false;
+    bool inRob = false; //!< currently in the master ROB deque
+    /** @} */
+
     bool
     srcsReady() const
     {

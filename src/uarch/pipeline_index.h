@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Incrementally maintained pipeline-state indices. Every per-cycle
+ * query a commit policy issues — oldest unresolved branch, oldest
+ * unchecked memory op, per-site unresolved instance counts, the
+ * uncommitted frontier — used to be a linear scan of the master ROB;
+ * this layer keeps each answer current at dispatch / resolve / TLB
+ * completion / commit / squash time instead, so queries are O(1) or
+ * O(log n).
+ *
+ * Only Core mutates the index (via the on*() hooks, one per pipeline
+ * event); policies observe it through PipelineView. The invariants —
+ * and how squash recovery restores them — are documented in DESIGN.md
+ * ("PipelineView and the pipeline-state indices"); shadowVerify()
+ * re-derives every answer from the naive ROB scan and panics on any
+ * divergence, which is how the differential test pins the index to the
+ * pre-index semantics bit for bit.
+ */
+
+#ifndef NOREBA_UARCH_PIPELINE_INDEX_H
+#define NOREBA_UARCH_PIPELINE_INDEX_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <queue>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/intrusive_list.h"
+#include "interp/trace.h"
+#include "uarch/inflight.h"
+
+namespace noreba {
+
+class PipelineIndex
+{
+  public:
+    /** @name Mutation hooks (Core only, one per pipeline event) @{ */
+
+    /** A renamed instruction entered the window (p->isBranch is set). */
+    void onDispatch(InFlight *p);
+
+    /** A dispatched branch resolved in writeback. */
+    void onResolve(InFlight *p);
+
+    /** The instruction started (or finished) its page-table check. */
+    void onTlbCheck(InFlight *p);
+
+    /** The instruction retired (before resources are released). */
+    void onCommit(InFlight *p);
+
+    /** Every uncommitted instruction with idx > `after` was squashed. */
+    void onSquash(TraceIdx after);
+
+    /** The pool slot is being recycled (drop the idx mapping). */
+    void onFree(InFlight *p);
+    /** @} */
+
+    /** @name Queries @{ */
+
+    /**
+     * Oldest in-flight (uncommitted) unresolved branch, or INT32_MAX.
+     */
+    TraceIdx
+    oldestUnresolvedBranch() const
+    {
+        return unresolvedUncommitted_.empty()
+                   ? INT32_MAX
+                   : *unresolvedUncommitted_.begin();
+    }
+
+    /**
+     * Oldest uncommitted memory op whose TLB check has not completed
+     * by `now`, or INT32_MAX. Drains the pending-completion heap.
+     */
+    TraceIdx
+    oldestUncheckedMem(Cycle now)
+    {
+        drainTlbPending(now);
+        return uncheckedMem_.empty() ? INT32_MAX
+                                     : *uncheckedMem_.begin();
+    }
+
+    /**
+     * All dispatched, still-unresolved branches (committed-early ones
+     * included, matching the historical set semantics), keyed by trace
+     * index with the static site PC as the value.
+     */
+    const std::map<TraceIdx, uint64_t> &
+    unresolvedBranches() const
+    {
+        return unresolved_;
+    }
+
+    /** Oldest dispatched unresolved branch, or TRACE_NONE. */
+    TraceIdx
+    oldestUnresolved() const
+    {
+        return unresolved_.empty() ? TRACE_NONE
+                                   : unresolved_.begin()->first;
+    }
+
+    /** Youngest unresolved branch older than `idx`, or TRACE_NONE. */
+    TraceIdx
+    youngestUnresolvedBefore(TraceIdx idx) const
+    {
+        auto it = unresolved_.lower_bound(idx);
+        if (it == unresolved_.begin())
+            return TRACE_NONE;
+        return std::prev(it)->first;
+    }
+
+    /** An unresolved instance of static site `pc` older than `before`. */
+    bool
+    olderSitePcUnresolved(uint64_t pc, TraceIdx before) const
+    {
+        auto it = unresolvedByPc_.find(pc);
+        return it != unresolvedByPc_.end() &&
+               *it->second.begin() < before;
+    }
+
+    /** Dispatched-but-uncommitted FENCE instructions, ordered. */
+    const std::set<TraceIdx> &fences() const { return fences_; }
+
+    /** In-flight instruction by trace index (nullptr if none). */
+    InFlight *
+    findInFlight(TraceIdx idx) const
+    {
+        auto it = inflightByIdx_.find(idx);
+        return it == inflightByIdx_.end() ? nullptr : it->second;
+    }
+
+    /** @name Uncommitted frontier, program order @{ */
+    InFlight *frontierHead() const { return frontier_.head(); }
+    static InFlight *frontierNext(const InFlight *p)
+    {
+        return p->frontNext;
+    }
+    size_t frontierSize() const { return frontier_.size(); }
+    /** @} */
+    /** @} */
+
+    /**
+     * Differential check: recompute every query from a naive scan of
+     * the master ROB and panic on the first divergence. Enabled per
+     * cycle by CoreConfig::shadowIndexCheck; this is the oracle the
+     * pipeline_index differential test drives.
+     */
+    void shadowVerify(const std::deque<InFlight *> &rob, Cycle now,
+                      const TraceView &trace);
+
+  private:
+    void drainTlbPending(Cycle now);
+    void eraseUnresolved(TraceIdx idx, uint64_t pc);
+
+    using Frontier =
+        IntrusiveList<InFlight, &InFlight::frontPrev,
+                      &InFlight::frontNext, &InFlight::inFrontier>;
+
+    /** A TLB check that completes at `doneAt` (lazy removal). */
+    struct TlbPending
+    {
+        Cycle doneAt;
+        InFlight *p;
+        uint64_t gen;
+        bool operator>(const TlbPending &o) const
+        {
+            return doneAt > o.doneAt;
+        }
+    };
+
+    /** Dispatched unresolved branches: trace idx -> static site PC. */
+    std::map<TraceIdx, uint64_t> unresolved_;
+    /** The uncommitted subset of unresolved_ (commit barrier). */
+    std::set<TraceIdx> unresolvedUncommitted_;
+    /** Static site PC -> unresolved dynamic instances (never empty). */
+    std::unordered_map<uint64_t, std::set<TraceIdx>> unresolvedByPc_;
+    /** Uncommitted memory ops not yet past their TLB check. */
+    std::set<TraceIdx> uncheckedMem_;
+    /** Checks in flight, keyed by completion time. */
+    std::priority_queue<TlbPending, std::vector<TlbPending>,
+                        std::greater<TlbPending>>
+        tlbPending_;
+    std::set<TraceIdx> fences_;
+    std::unordered_map<TraceIdx, InFlight *> inflightByIdx_;
+    Frontier frontier_;
+};
+
+} // namespace noreba
+
+#endif // NOREBA_UARCH_PIPELINE_INDEX_H

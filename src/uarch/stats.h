@@ -3,6 +3,12 @@
  * Aggregate statistics for one core run, including the per-structure
  * activity counts the power model consumes (Figure 16) and the
  * per-branch stall attribution behind Figure 7.
+ *
+ * The counters are declared once, in the NOREBA_CORE_STATS_FIELDS
+ * X-macro below, which is also the single source of truth for field
+ * enumeration: serialization (sim/sweep.cc statsToJson) walks the
+ * generated CORE_STATS_FIELDS descriptor table instead of hand-listing
+ * every member, so adding a counter here is the whole change.
  */
 
 #ifndef NOREBA_UARCH_STATS_H
@@ -21,66 +27,73 @@ struct BranchStall
     uint64_t dependents = 0;  //!< dynamic instructions marked dependent
 };
 
+/**
+ * The CoreStats field table. C(name, doc) declares a raw uint64_t
+ * counter; D(name, doc) a derived value computed by the CoreStats
+ * accessor of the same name. The order here is the serialization
+ * order.
+ */
+#define NOREBA_CORE_STATS_FIELDS(C, D)                                    \
+    /* headline */                                                        \
+    C(cycles, "total simulated cycles")                                   \
+    C(committedInsts, "architectural commits (setup excluded)")           \
+    D(ipc, "committedInsts / cycles")                                     \
+    C(committedOoO, "committed past an unresolved branch")                \
+    C(committedAhead, "committed past the in-order frontier")             \
+    D(oooCommitFraction, "committedOoO / committedInsts")                 \
+    /* front end */                                                       \
+    C(fetched, "instructions through fetch")                              \
+    C(setupFetched, "setup instructions through fetch")                   \
+    C(citDrops, "re-fetched already-committed insts")                     \
+    C(icacheStallCycles, "fetch cycles lost to L1I misses")               \
+    /* speculation */                                                     \
+    C(branches, "resolved branch instances")                              \
+    C(mispredicts, "mispredicted branch instances")                       \
+    C(squashes, "pipeline squashes")                                      \
+    C(squashedInsts, "uncommitted instructions squashed")                 \
+    /* back end */                                                        \
+    C(dispatched, "instructions renamed into the window")                 \
+    C(issued, "instructions issued to FUs")                               \
+    C(windowFullCycles, "dispatch blocked on ROB/window")                 \
+    C(commitHeadBranchStall, "commit idle, head = branch")                \
+    C(commitHeadLoadStall, "commit idle, head = memory")                  \
+    C(steerStallCycles, "Noreba ROB' head blocked")                       \
+    C(steerStallTlb, "... on the in-order TLB check")                     \
+    C(steerStallCqt, "... on a full CQT")                                 \
+    C(steerStallCqFull, "... on a full commit queue")                     \
+    C(citFullStalls, "OoO commit blocked on CIT")                         \
+    /* structure activity (power model inputs) */                         \
+    C(rfReads, "register file reads")                                     \
+    C(rfWrites, "register file writes")                                   \
+    C(iqWrites, "issue queue insertions")                                 \
+    C(iqWakeups, "issue queue wakeup broadcasts")                         \
+    C(robWrites, "ROB allocations")                                       \
+    C(robReads, "ROB commit reads")                                       \
+    C(lsqOps, "load/store queue operations")                              \
+    C(bpredLookups, "branch predictor lookups")                           \
+    C(icacheAccesses, "L1I accesses")                                     \
+    C(dcacheAccesses, "L1D accesses")                                     \
+    C(l2Accesses, "L2 accesses")                                          \
+    C(l3Accesses, "L3 accesses")                                          \
+    C(intAluOps, "integer ALU/branch operations")                         \
+    C(fpAluOps, "floating-point operations")                              \
+    C(cmplxAluOps, "integer multiply/divide operations")                  \
+    C(renameOps, "rename table operations")                               \
+    C(cdbBroadcasts, "common data bus broadcasts")                        \
+    C(bitOps, "Branch ID Table reads/writes")                             \
+    C(dctOps, "Dependents Counter Table ops")                             \
+    C(cqtOps, "Commit Queue Table ops")                                   \
+    C(citOps, "CIT allocations + lookups + frees")                        \
+    C(cqOps, "commit queue pushes + pops")
+
 struct CoreStats
 {
-    /** @name Headline @{ */
-    uint64_t cycles = 0;
-    uint64_t committedInsts = 0; //!< architectural (setup excluded)
-    uint64_t committedOoO = 0;   //!< committed past an unresolved branch
-    uint64_t committedAhead = 0; //!< committed past the in-order frontier
-    /** @} */
-
-    /** @name Front end @{ */
-    uint64_t fetched = 0;
-    uint64_t setupFetched = 0;  //!< setup instructions through fetch
-    uint64_t citDrops = 0;      //!< re-fetched already-committed insts
-    uint64_t icacheStallCycles = 0;
-    /** @} */
-
-    /** @name Speculation @{ */
-    uint64_t branches = 0;
-    uint64_t mispredicts = 0;
-    uint64_t squashes = 0;
-    uint64_t squashedInsts = 0;
-    /** @} */
-
-    /** @name Back end @{ */
-    uint64_t dispatched = 0;
-    uint64_t issued = 0;
-    uint64_t windowFullCycles = 0; //!< dispatch blocked on ROB/window
-    uint64_t commitHeadBranchStall = 0; //!< commit idle, head = branch
-    uint64_t commitHeadLoadStall = 0;   //!< commit idle, head = memory
-    uint64_t steerStallCycles = 0;      //!< Noreba ROB' head blocked
-    uint64_t steerStallTlb = 0;         //!< ... on the in-order TLB check
-    uint64_t steerStallCqt = 0;         //!< ... on a full CQT
-    uint64_t steerStallCqFull = 0;      //!< ... on a full commit queue
-    uint64_t citFullStalls = 0;         //!< OoO commit blocked on CIT
-    /** @} */
-
-    /** @name Structure activity (power model inputs) @{ */
-    uint64_t rfReads = 0;
-    uint64_t rfWrites = 0;
-    uint64_t iqWrites = 0;
-    uint64_t iqWakeups = 0;
-    uint64_t robWrites = 0;
-    uint64_t robReads = 0;
-    uint64_t lsqOps = 0;
-    uint64_t bpredLookups = 0;
-    uint64_t icacheAccesses = 0;
-    uint64_t dcacheAccesses = 0;
-    uint64_t l2Accesses = 0;
-    uint64_t l3Accesses = 0;
-    uint64_t intAluOps = 0;
-    uint64_t fpAluOps = 0;
-    uint64_t cmplxAluOps = 0;
-    uint64_t renameOps = 0;
-    uint64_t cdbBroadcasts = 0;
-    uint64_t bitOps = 0;  //!< Branch ID Table reads/writes
-    uint64_t dctOps = 0;  //!< Dependents Counter Table ops
-    uint64_t cqtOps = 0;  //!< Commit Queue Table ops
-    uint64_t citOps = 0;  //!< CIT allocations + lookups + frees
-    uint64_t cqOps = 0;   //!< commit queue pushes + pops
-    /** @} */
+#define NOREBA_STATS_DECLARE_COUNTER(name, doc) uint64_t name = 0;
+#define NOREBA_STATS_DECLARE_DERIVED(name, doc)
+    NOREBA_CORE_STATS_FIELDS(NOREBA_STATS_DECLARE_COUNTER,
+                             NOREBA_STATS_DECLARE_DERIVED)
+#undef NOREBA_STATS_DECLARE_COUNTER
+#undef NOREBA_STATS_DECLARE_DERIVED
 
     /** Per-branch-PC stall attribution (filled when enabled). */
     std::unordered_map<uint64_t, BranchStall> branchStalls;
@@ -109,6 +122,30 @@ struct CoreStats
                          static_cast<double>(committedInsts)
                    : 0.0;
     }
+};
+
+/** One serializable CoreStats field: a counter or a derived value. */
+struct CoreStatsField
+{
+    const char *name;
+    const char *doc;
+    /** Counter member, or nullptr for a derived field. */
+    uint64_t CoreStats::*counter;
+    /** Derived accessor, or nullptr for a counter. */
+    double (*derived)(const CoreStats &);
+};
+
+/** Every serialized field, in serialization order. */
+inline constexpr CoreStatsField CORE_STATS_FIELDS[] = {
+#define NOREBA_STATS_TABLE_COUNTER(n, d)                                  \
+    {#n, d, &CoreStats::n, nullptr},
+#define NOREBA_STATS_TABLE_DERIVED(n, d)                                  \
+    {#n, d, nullptr,                                                      \
+     [](const CoreStats &s) -> double { return s.n(); }},
+    NOREBA_CORE_STATS_FIELDS(NOREBA_STATS_TABLE_COUNTER,
+                             NOREBA_STATS_TABLE_DERIVED)
+#undef NOREBA_STATS_TABLE_COUNTER
+#undef NOREBA_STATS_TABLE_DERIVED
 };
 
 } // namespace noreba

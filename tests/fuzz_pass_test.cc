@@ -295,8 +295,8 @@ oracleViolations(const Program &prog, const Prepared &p,
     cfg.commitMode = mode;
     Core core(cfg, p.trace, p.misp);
     int violations = 0;
-    core.commitHook = [&](const Core &c, const InFlight &inst) {
-        for (TraceIdx u : c.unresolvedBranches()) {
+    core.commitHook = [&](const PipelineView &c, const InFlight &inst) {
+        for (const auto &[u, pc] : c.unresolvedBranches()) {
             if (u >= inst.idx)
                 break;
             int b = instanceOf[static_cast<size_t>(u)];

@@ -183,8 +183,8 @@ violationsFor(const Program &prog, const Prepared &p, CommitMode mode)
     Core core(cfg, p.trace, p.misp);
 
     int violations = 0;
-    core.commitHook = [&](const Core &c, const InFlight &inst) {
-        for (TraceIdx u : c.unresolvedBranches()) {
+    core.commitHook = [&](const PipelineView &c, const InFlight &inst) {
+        for (const auto &[u, pc] : c.unresolvedBranches()) {
             if (u >= inst.idx)
                 break;
             if (oracle.dependsOn(inst.idx, u))
