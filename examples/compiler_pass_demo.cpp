@@ -15,6 +15,7 @@
 
 #include <cstdio>
 
+#include "analysis/annotation_checker.h"
 #include "compiler/branch_dep.h"
 #include "ir/builder.h"
 #include "ir/dominance.h"
@@ -106,6 +107,10 @@ main()
                     .label.c_str());
 
     PassResult res = runBranchDependencePass(prog);
+
+    // Static verification of the pass output (src/analysis): the
+    // verdict is folded into the report below.
+    attachVerification(prog, res);
 
     std::printf("=== After branch dependent code detection ===\n%s\n",
                 prog.function().toString().c_str());

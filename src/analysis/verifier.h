@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Static IR/Program verifier: structural lint rules over any Program,
+ * pre- or post-annotation. Where Function::verify() stops at the first
+ * violation with a plain string, this verifier reports *every*
+ * violation as a structured Finding (see diagnostics.h) and covers a
+ * wider rule set:
+ *
+ *  CFG well-formedness
+ *   - cfg-entry               entry block id out of range
+ *   - cfg-terminator          control/HALT instruction not at block end,
+ *                             invalid branch/jump/indirect targets,
+ *                             missing fallthrough
+ *   - cfg-stale-edges         succ/pred edges inconsistent with the
+ *                             terminators (computeCFG not re-run)
+ *   - cfg-unreachable         block unreachable from the entry (warning)
+ *   - cfg-no-exit             no reachable HALT
+ *   - cfg-no-exit-path        block cannot reach any HALT (warning;
+ *                             infinite loop)
+ *
+ *  Encoding invariants
+ *   - encode-register         register field outside [REG_NONE,
+ *                             NUM_ARCH_REGS)
+ *   - encode-operands         operand shape wrong for the opcode class
+ *                             (branch without sources, load without a
+ *                             destination, ...)
+ *
+ *  Setup-instruction placement and BranchID-field limits
+ *   - setup-id-range          setBranchId ID outside [1, NUM_BRANCH_IDS)
+ *                             or setDependency ID outside
+ *                             [0, NUM_BRANCH_IDS)
+ *   - setup-misplaced-branch-id  setBranchId not immediately followed
+ *                             (modulo other setup instructions) by a
+ *                             branch site in the same block
+ *   - setup-dep-extent        setDependency region covering fewer real
+ *                             instructions than NUM before the block end
+ *   - setup-dep-overlap       setDependency while an earlier region is
+ *                             still active
+ *   - setup-dep-empty         setDependency with NUM <= 0
+ *   - setup-dep-id0-lax       region with ID 0 (no guard) that is not
+ *                             flagged strict — it would silently track
+ *                             nothing
+ *
+ * The verifier never mutates the Program. It returns true when no
+ * Error-severity findings were added (warnings/notes allowed).
+ */
+
+#ifndef NOREBA_ANALYSIS_VERIFIER_H
+#define NOREBA_ANALYSIS_VERIFIER_H
+
+#include "analysis/diagnostics.h"
+#include "ir/program.h"
+
+namespace noreba {
+
+/** Run every structural rule over `prog`; append findings to `diag`. */
+bool verifyProgram(const Program &prog, Diagnostics &diag);
+
+} // namespace noreba
+
+#endif // NOREBA_ANALYSIS_VERIFIER_H

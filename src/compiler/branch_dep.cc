@@ -555,8 +555,22 @@ runBranchDependencePass(Program &prog, const PassOptions &opts)
             }
 
             res.guardOfInst[gi] = g;
-            if (self >= 0)
+            if (self >= 0 && mark[self] != g) {
+                // Re-pointing a branch's own edge at its guard must not
+                // orphan a chain tail that earlier instructions rely
+                // on: keep the old edge when the new one cannot still
+                // reach it (reachability is re-checked with the edge
+                // tentatively flipped, so a cycle through self does not
+                // count as reaching the tail).
+                int old = mark[self];
                 mark[self] = g;
+                if (old >= 0) {
+                    std::vector<bool> seen(nbranches, false);
+                    reachFrom(self, seen);
+                    if (!seen[old])
+                        mark[self] = old;
+                }
+            }
         }
     }
 
@@ -714,6 +728,11 @@ PassResult::report() const
        << "  chain merges:        " << numChainMerges << '\n'
        << "  static insts:        " << instsBefore << " -> " << instsAfter
        << '\n';
+    if (!verifierVerdict.empty()) {
+        os << "  static verification: " << verifierVerdict << '\n';
+        for (const auto &[rule, count] : verifierRuleCounts)
+            os << "    " << rule << ": " << count << '\n';
+    }
     return os.str();
 }
 

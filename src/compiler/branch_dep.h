@@ -28,6 +28,7 @@
 #define NOREBA_COMPILER_BRANCH_DEP_H
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ir/program.h"
@@ -80,7 +81,19 @@ struct PassResult
     int numStrictRegions = 0; //!< uncoverable deps forced strict
     /** @} */
 
-    /** Human-readable summary. */
+    /**
+     * @name Static verification verdict, filled by
+     * attachVerification() (src/analysis) when the caller asks for an
+     * independent check of the annotated program. Empty when
+     * verification was not run. Plain data here keeps the compiler
+     * library free of a dependency on the analysis layer.
+     * @{
+     */
+    std::string verifierVerdict;
+    std::vector<std::pair<std::string, int>> verifierRuleCounts;
+    /** @} */
+
+    /** Human-readable summary (includes the verdict when present). */
     std::string report() const;
 };
 

@@ -13,11 +13,12 @@ namespace noreba {
 
 namespace {
 
-/** One tokenized source line. */
+/** One tokenized source line, keeping the raw text for diagnostics. */
 struct Line
 {
     int number = 0;
     std::vector<std::string> tokens;
+    std::string text;
 };
 
 /** Split a line into tokens; commas and parentheses separate. */
@@ -118,7 +119,7 @@ class Assembler
         std::vector<Line> body;
         while (std::getline(in, text)) {
             ++number;
-            Line line{number, tokenize(text)};
+            Line line{number, tokenize(text), text};
             if (line.tokens.empty())
                 continue;
             if (line.tokens[0][0] == '.') {
@@ -154,7 +155,18 @@ class Assembler
     bool
     errorAt(int line, const std::string &msg)
     {
-        error_ = "line " + std::to_string(line) + ": " + msg;
+        error_ = "line " + std::to_string(line);
+        if (!curLabel_.empty()) {
+            error_ += " (in '";
+            error_ += curLabel_;
+            error_ += "')";
+        }
+        error_ += ": " + msg;
+        if (curLine_ && curLine_->number == line &&
+            !curLine_->text.empty()) {
+            error_ += "\n  ";
+            error_ += curLine_->text;
+        }
         return false;
     }
 
@@ -197,6 +209,7 @@ class Assembler
     bool
     directive(const Line &line)
     {
+        curLine_ = &line;
         const auto &t = line.tokens;
         if (t[0] == ".data") {
             if (t.size() != 3)
@@ -240,7 +253,9 @@ class Assembler
     bool
     collectLabels(const std::vector<Line> &body)
     {
+        curLine_ = nullptr;
         for (const Line &line : body) {
+            curLine_ = &line;
             const std::string &tok = line.tokens[0];
             if (tok.back() == ':') {
                 std::string label = tok.substr(0, tok.size() - 1);
@@ -251,6 +266,7 @@ class Assembler
                     prog_.function().addBlock(label);
             }
         }
+        curLine_ = nullptr;
         if (prog_.function().numBlocks() == 0)
             return errorAt(1, "no labels in program");
         return true;
@@ -273,9 +289,11 @@ class Assembler
     bool
     emit(const Line &line)
     {
+        curLine_ = &line;
         const auto &t = line.tokens;
         if (t[0].back() == ':') {
-            cur_ = blockOf_[t[0].substr(0, t[0].size() - 1)];
+            curLabel_ = t[0].substr(0, t[0].size() - 1);
+            cur_ = blockOf_[curLabel_];
             return true;
         }
         if (cur_ < 0)
@@ -463,6 +481,8 @@ class Assembler
 
     Program prog_;
     std::string error_;
+    const Line *curLine_ = nullptr; //!< line being processed, for errors
+    std::string curLabel_;          //!< enclosing block label, for errors
     std::map<std::string, uint64_t> symbols_;
     std::map<uint64_t, AliasRegion> regionOfSymbol_;
     std::map<Reg, AliasRegion> regionOfBase_;

@@ -152,6 +152,32 @@ TEST(Assembler, ErrorsCarryLineNumbers)
     EXPECT_FALSE(r4.ok()); // duplicate label
 }
 
+TEST(Assembler, ErrorsCarryLabelAndSourceContext)
+{
+    // The failing line is echoed and the enclosing block is named.
+    AssembleResult r =
+        assemble("entry:\n    halt\nloop:\n    bogus t0, t1\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("line 4"), std::string::npos) << r.error;
+    EXPECT_NE(r.error.find("'loop'"), std::string::npos) << r.error;
+    EXPECT_NE(r.error.find("    bogus t0, t1"), std::string::npos)
+        << r.error;
+
+    // Directive errors echo the line but precede any label.
+    AssembleResult r2 = assemble(".data\nentry:\n    halt\n");
+    ASSERT_FALSE(r2.ok());
+    EXPECT_NE(r2.error.find("line 1"), std::string::npos) << r2.error;
+    EXPECT_NE(r2.error.find(".data"), std::string::npos) << r2.error;
+    EXPECT_EQ(r2.error.find("(in"), std::string::npos) << r2.error;
+
+    // Unknown-label errors name the block being assembled.
+    AssembleResult r3 =
+        assemble("entry:\n    blt t0, t1, nowhere\n");
+    ASSERT_FALSE(r3.ok());
+    EXPECT_NE(r3.error.find("'entry'"), std::string::npos) << r3.error;
+    EXPECT_NE(r3.error.find("nowhere"), std::string::npos) << r3.error;
+}
+
 TEST(Assembler, RoundTripsThroughThePrinter)
 {
     AssembleResult first = assemble(R"(

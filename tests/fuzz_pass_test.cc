@@ -22,6 +22,9 @@
 #include <functional>
 #include <unordered_map>
 
+#include "analysis/annotation_checker.h"
+#include "analysis/diagnostics.h"
+#include "analysis/verifier.h"
 #include "ir/dominance.h"
 #include "test_util.h"
 
@@ -322,6 +325,20 @@ TEST_P(FuzzPass, EndToEndInvariants)
     // 1. Structure survives.
     ASSERT_EQ(annotated.function().verify(), "");
     EXPECT_GE(res.numMarkedBranches, 1);
+
+    // 1b. The static verifier and the independent annotation checker
+    //     accept both sides of the pass: no execution, second oracle.
+    {
+        Diagnostics dp(plain.name());
+        EXPECT_TRUE(verifyProgram(plain, dp)) << dp.toText();
+        EXPECT_TRUE(checkAnnotations(plain, dp)) << dp.toText();
+        Diagnostics da(annotated.name());
+        EXPECT_TRUE(verifyProgram(annotated, da)) << da.toText();
+        CheckOptions copts;
+        copts.requireAnnotations = true;
+        EXPECT_TRUE(checkAnnotations(annotated, da, copts))
+            << da.toText();
+    }
 
     // 2. Semantics preserved.
     InterpOptions opts;
