@@ -15,6 +15,11 @@
  *   NOREBA_JOBS        sweep worker threads (default: hardware cores)
  *   NOREBA_JSON_DIR    when set, sweep benches also write a
  *                      machine-readable BENCH_<name>.json there
+ *   NOREBA_EVENT_TRACE when set (and not "0"), every sweep job runs
+ *                      with the pipeline EventLog enabled (stats stay
+ *                      bit-identical), and maybeWriteJson additionally
+ *                      exports a Chrome-trace timeline of the first
+ *                      job as TRACE_<name>.json in NOREBA_JSON_DIR
  */
 
 #ifndef NOREBA_BENCH_BENCH_UTIL_H
@@ -34,6 +39,8 @@
 #include "power/power_model.h"
 #include "sim/runner.h"
 #include "sim/sweep.h"
+#include "trace/chrome_trace.h"
+#include "trace/event_log.h"
 
 namespace noreba::benchutil {
 
@@ -135,12 +142,24 @@ bundleFor(const std::string &name, bool annotate = true,
                                    traceOptions(annotate, stripSetups));
 }
 
+/** Pipeline event tracing requested (NOREBA_EVENT_TRACE set, != "0"). */
+inline bool
+eventTraceEnabled()
+{
+    const char *env = std::getenv("NOREBA_EVENT_TRACE");
+    return env && *env && std::string(env) != "0";
+}
+
 /** A sweep job for one workload on one config, at bench trace length. */
 inline SweepJob
 job(const std::string &workload, const CoreConfig &cfg,
     bool annotate = true, bool stripSetups = false)
 {
-    return SweepJob{workload, cfg, traceOptions(annotate, stripSetups)};
+    SweepJob j{workload, cfg, traceOptions(annotate, stripSetups)};
+    // Tracing never touches CoreStats, so flipping this in no way
+    // perturbs the sweep's numbers (tests/trace_test.cc pins that).
+    j.cfg.eventTrace = eventTraceEnabled();
+    return j;
 }
 
 /**
@@ -187,6 +206,27 @@ maybeWriteJson(const char *bench, const std::vector<SweepResult> &results)
                 "%.1f kcycles/s\n",
                 wallSeconds, simKilocycles,
                 wallSeconds > 0.0 ? simKilocycles / wallSeconds : 0.0);
+
+    if (eventTraceEnabled() && !results.empty()) {
+        // Export one Chrome-trace timeline (the first job) alongside
+        // the bench record. Sweep results themselves carry no event
+        // payload, so the job is re-simulated with an external log —
+        // cheap at bench trace lengths, and the bundle is already
+        // cached.
+        const SweepJob &first = results.front().job;
+        std::shared_ptr<const TraceBundle> bundle =
+            globalBundleCache().get(first.workload, first.trace);
+        EventLog log;
+        simulate(first.cfg, *bundle, &log);
+        std::string label = first.workload + "/" +
+                            commitModeName(first.cfg.commitMode);
+        std::string tracePath =
+            std::string(dir) + "/TRACE_" + bench + ".json";
+        writeChromeTrace(tracePath, log, label);
+        std::printf("wrote %s (%zu events, %llu dropped)\n",
+                    tracePath.c_str(), log.size(),
+                    static_cast<unsigned long long>(log.dropped()));
+    }
 }
 
 /** Header printed by every bench. */

@@ -5,9 +5,15 @@
  * cycles, IPC, stall/structure counters) next to its human tables so
  * downstream tooling never scrapes TextTable output.
  *
- * This is a writer only — no parsing — and deliberately tiny: objects
- * and arrays hold values in insertion order, numbers are emitted with
- * enough precision to round-trip, and strings are escaped per RFC 8259.
+ * Deliberately tiny: objects and arrays hold values in insertion
+ * order, numbers are emitted with enough precision to round-trip, and
+ * strings are escaped per RFC 8259. Output is locale-independent (a
+ * comma-decimal global C locale cannot corrupt a document) and
+ * writeJsonFile publishes crash-atomically via write-then-rename.
+ *
+ * A matching recursive-descent parser (JsonValue::parse) covers the
+ * documents this writer produces — used by noreba-stats-diff and the
+ * schema round-trip tests; it is not a general validating parser.
  */
 
 #ifndef NOREBA_COMMON_JSON_H
@@ -40,6 +46,35 @@ class JsonValue
 
     bool isObject() const { return kind_ == Kind::Object; }
     bool isArray() const { return kind_ == Kind::Array; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool
+    isNumber() const
+    {
+        return kind_ == Kind::Int || kind_ == Kind::Uint ||
+               kind_ == Kind::Double;
+    }
+
+    /** @name Scalar accessors (panic on kind mismatch) @{ */
+    bool asBool() const;
+    /** Any number kind, converted. */
+    double asDouble() const;
+    /** Int, or a Uint that fits. */
+    int64_t asInt() const;
+    /** Uint, or a non-negative Int. */
+    uint64_t asUint() const;
+    const std::string &asString() const;
+    /** @} */
+
+    /** Object member lookup; nullptr when absent. @pre isObject(). */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Element / member value at position @p i. @pre i < size(). */
+    const JsonValue &at(size_t i) const;
+
+    /** Key of member @p i (empty string for array entries). */
+    const std::string &keyAt(size_t i) const;
 
     /** Set (or overwrite) a member. @pre isObject(). */
     JsonValue &set(const std::string &key, JsonValue value);
@@ -54,6 +89,16 @@ class JsonValue
 
     /** RFC 8259 string escaping (quotes included). */
     static std::string escape(const std::string &s);
+
+    /**
+     * Parse one JSON document. On failure returns a Null value and,
+     * when @p err is non-null, stores a message with the byte offset
+     * of the first error. Numbers parse locale-independently; integer
+     * literals keep full 64-bit precision (Int, then Uint, then
+     * Double).
+     */
+    static JsonValue parse(const std::string &text,
+                           std::string *err = nullptr);
 
   private:
     enum class Kind { Null, Bool, Int, Uint, Double, String, Array, Object };

@@ -7,6 +7,13 @@
  * pool owns. A pool of size one degenerates to deferred serial
  * execution (tasks run on the single worker in submission order), so
  * callers get identical scheduling semantics at every width.
+ *
+ * A task that throws does not take the process down (an escaped
+ * exception on a worker thread would std::terminate) and cannot hang
+ * wait(): the worker catches it, the pool records the first such
+ * exception, and the next wait() rethrows it once the queue drains.
+ * Later exceptions from the same batch are dropped, matching the
+ * first-error semantics of std::async-style fan-outs.
  */
 
 #ifndef NOREBA_COMMON_THREAD_POOL_H
@@ -14,6 +21,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -59,13 +67,23 @@ class ThreadPool
         wake_.notify_one();
     }
 
-    /** Block until every submitted task has finished running. */
+    /**
+     * Block until every submitted task has finished running. If any
+     * task threw since the last wait(), rethrows the first recorded
+     * exception (after the drain, so the pool is quiescent either way).
+     */
     void
     wait()
     {
         std::unique_lock<std::mutex> lock(mutex_);
         idle_.wait(lock,
                    [this] { return queue_.empty() && running_ == 0; });
+        if (firstError_) {
+            std::exception_ptr err = firstError_;
+            firstError_ = nullptr;
+            lock.unlock();
+            std::rethrow_exception(err);
+        }
     }
 
     size_t size() const { return workers_.size(); }
@@ -87,7 +105,13 @@ class ThreadPool
                 queue_.pop_front();
                 ++running_;
             }
-            task();
+            try {
+                task();
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (!firstError_)
+                    firstError_ = std::current_exception();
+            }
             {
                 std::lock_guard<std::mutex> lock(mutex_);
                 --running_;
@@ -104,6 +128,8 @@ class ThreadPool
     std::vector<std::thread> workers_;
     unsigned running_ = 0;
     bool stopping_ = false;
+    /** First exception a task threw since the last wait(). */
+    std::exception_ptr firstError_;
 };
 
 } // namespace noreba

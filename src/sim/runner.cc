@@ -84,6 +84,18 @@ simulate(const CoreConfig &cfg, const TraceBundle &bundle)
 }
 
 CoreStats
+simulate(const CoreConfig &cfg, const TraceBundle &bundle,
+         EventLog *events)
+{
+    panic_if(!events, "simulate(..., EventLog*) needs a log");
+    CoreConfig traced = cfg;
+    traced.eventTrace = true;
+    Core core(traced, bundle.view(), bundle.misp);
+    core.attachEventLog(events);
+    return core.run();
+}
+
+CoreStats
 runOne(const std::string &workload, const CoreConfig &cfg,
        const TraceOptions &opts)
 {

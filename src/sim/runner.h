@@ -74,6 +74,17 @@ DynamicTrace stripSetupRecords(const TraceView &in);
 /** Simulate a prepared bundle on one core configuration. */
 CoreStats simulate(const CoreConfig &cfg, const TraceBundle &bundle);
 
+class EventLog;
+
+/**
+ * Simulate with pipeline-event tracing into @p events (must be
+ * non-null; cleared by the caller if reuse is intended). Forces
+ * CoreConfig::eventTrace on for the run; stats are bit-identical to
+ * the untraced overload.
+ */
+CoreStats simulate(const CoreConfig &cfg, const TraceBundle &bundle,
+                   EventLog *events);
+
 /** Convenience: prepare + simulate in one call. */
 CoreStats runOne(const std::string &workload, const CoreConfig &cfg,
                  const TraceOptions &opts = {});

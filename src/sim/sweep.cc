@@ -11,7 +11,8 @@
 
 namespace noreba {
 
-BundleCache::BundleCache(size_t capacity) : capacity_(capacity)
+BundleCache::BundleCache(size_t capacity, Builder builder)
+    : capacity_(capacity), builder_(std::move(builder))
 {
 }
 
@@ -41,41 +42,62 @@ BundleCache::get(const std::string &workload, const TraceOptions &opts)
         auto it = entries_.find(key);
         if (it != entries_.end()) {
             entry = it->second;
-            ++stats_.memHits;
+            // A resident bundle is a hit; an entry another thread is
+            // still materializing is not — this caller blocks on the
+            // call_once below and shares the one build.
+            if (entry->bundle)
+                ++stats_.memHits;
+            else
+                ++stats_.sharedBuilds;
         } else {
             entry = std::make_shared<Entry>();
+            entry->key = key;
             entries_.emplace(key, entry);
         }
-        entry->lastUse = ++useClock_;
+        touchLocked(entry.get());
     }
     // Materialize outside the map lock so unrelated bundles prepare in
     // parallel; call_once blocks only the threads that want this one.
-    std::call_once(entry->once, [&] {
-        const std::string path = traceBundlePath(workload, opts);
-        if (!path.empty()) {
-            if (auto mapped = MappedTraceBundle::open(path)) {
-                auto bundle = std::make_shared<TraceBundle>();
-                bundle->workload = workload;
-                bundle->misp = mapped->misp();
-                bundle->pass = mapped->pass();
-                bundle->checksum = mapped->archChecksum();
-                bundle->mapped = std::move(mapped);
-                entry->bundle = std::move(bundle);
-                std::lock_guard<std::mutex> lock(mutex_);
-                ++stats_.diskHits;
-                stats_.bytesMapped += entry->bundle->mapped->fileBytes();
-                return;
+    // A callable that throws leaves the once_flag unset (waiters retry
+    // the build); the catch below unpins the entry so a permanently
+    // failing key cannot occupy the cache forever.
+    try {
+        std::call_once(entry->once, [&] {
+            // Injected builders produce synthetic bundles: never read
+            // or publish the on-disk store for them.
+            const std::string path =
+                builder_ ? std::string() : traceBundlePath(workload, opts);
+            if (!path.empty()) {
+                if (auto mapped = MappedTraceBundle::open(path)) {
+                    auto bundle = std::make_shared<TraceBundle>();
+                    bundle->workload = workload;
+                    bundle->misp = mapped->misp();
+                    bundle->pass = mapped->pass();
+                    bundle->checksum = mapped->archChecksum();
+                    bundle->mapped = std::move(mapped);
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    ++stats_.diskHits;
+                    entry->bundle = std::move(bundle);
+                    stats_.bytesMapped +=
+                        entry->bundle->mapped->fileBytes();
+                    return;
+                }
             }
-        }
-        auto bundle =
-            std::make_shared<TraceBundle>(prepareTrace(workload, opts));
-        const size_t published =
-            path.empty() ? 0 : saveTraceBundle(path, *bundle);
-        entry->bundle = std::move(bundle);
+            auto bundle = std::make_shared<TraceBundle>(
+                builder_ ? builder_(workload, opts)
+                         : prepareTrace(workload, opts));
+            const size_t published =
+                path.empty() ? 0 : saveTraceBundle(path, *bundle);
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.builds;
+            stats_.bytesWritten += published;
+            entry->bundle = std::move(bundle);
+        });
+    } catch (...) {
         std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.builds;
-        stats_.bytesWritten += published;
-    });
+        removeFailedLocked(entry);
+        throw;
+    }
     std::shared_ptr<const TraceBundle> bundle = entry->bundle;
     if (capacity_) {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -85,21 +107,54 @@ BundleCache::get(const std::string &workload, const TraceOptions &opts)
 }
 
 void
+BundleCache::touchLocked(Entry *entry)
+{
+    if (entry->lastUse)
+        lru_.erase(entry->lastUse);
+    entry->lastUse = ++useClock_;
+    // The shared_ptr lives in entries_; look it up once to share
+    // ownership rather than aliasing raw.
+    auto it = entries_.find(entry->key);
+    if (it != entries_.end())
+        lru_.emplace(entry->lastUse, it->second);
+}
+
+void
 BundleCache::evictLocked(const Entry *keep)
 {
+    // lru_ orders entries by recency, so each eviction pops (near) the
+    // front: O(log n) plus a skip over the handful of pinned entries —
+    // in-flight builds and the requester's own — instead of the old
+    // full scan of entries_.
     while (entries_.size() > capacity_) {
-        auto victim = entries_.end();
-        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        auto victim = lru_.end();
+        for (auto it = lru_.begin(); it != lru_.end(); ++it) {
             if (it->second.get() == keep || !it->second->bundle)
                 continue;
-            if (victim == entries_.end() ||
-                it->second->lastUse < victim->second->lastUse)
-                victim = it;
-        }
-        if (victim == entries_.end())
+            victim = it;
             break;
-        entries_.erase(victim);
+        }
+        if (victim == lru_.end())
+            break;
+        entries_.erase(victim->second->key);
+        lru_.erase(victim);
         ++stats_.evictions;
+    }
+}
+
+void
+BundleCache::removeFailedLocked(const std::shared_ptr<Entry> &entry)
+{
+    // Only drop the exact entry we failed to build, and only while it
+    // is still bundle-less: a concurrent retry that succeeded (or a
+    // fresh entry under the same key) must stay.
+    auto it = entries_.find(entry->key);
+    if (it != entries_.end() && it->second == entry && !entry->bundle) {
+        entries_.erase(it);
+        if (entry->lastUse) {
+            lru_.erase(entry->lastUse);
+            entry->lastUse = 0;
+        }
     }
 }
 
@@ -223,6 +278,7 @@ bundleCacheStatsToJson(const BundleCacheStats &s)
 {
     JsonValue out = JsonValue::object();
     out.set("memHits", s.memHits)
+        .set("sharedBuilds", s.sharedBuilds)
         .set("diskHits", s.diskHits)
         .set("builds", s.builds)
         .set("bytesMapped", s.bytesMapped)

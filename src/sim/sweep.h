@@ -13,6 +13,7 @@
 #ifndef NOREBA_SIM_SWEEP_H
 #define NOREBA_SIM_SWEEP_H
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -44,6 +45,7 @@ struct SweepResult
 struct BundleCacheStats
 {
     uint64_t memHits = 0;      //!< bundle already resident in-process
+    uint64_t sharedBuilds = 0; //!< joined another thread's in-flight build
     uint64_t diskHits = 0;     //!< bundle mmap'd from NOREBA_TRACE_DIR
     uint64_t builds = 0;       //!< cold: full prepareTrace() pipeline
     uint64_t bytesMapped = 0;  //!< total bytes of mmap'd bundle files
@@ -68,8 +70,24 @@ struct BundleCacheStats
 class BundleCache
 {
   public:
-    explicit BundleCache(size_t capacity = capacityFromEnv());
+    /**
+     * Bundle materializer, injectable for tests (failure injection,
+     * cheap synthetic bundles). When set, the disk store is bypassed
+     * entirely — synthetic bundles must never be published. The default
+     * (empty) builder is the real store-then-prepareTrace pipeline.
+     */
+    using Builder =
+        std::function<TraceBundle(const std::string &, const TraceOptions &)>;
 
+    explicit BundleCache(size_t capacity = capacityFromEnv(),
+                         Builder builder = {});
+
+    /**
+     * Fetch (building at most once per key, even across threads). A
+     * build that throws evicts the never-materialized entry — later
+     * calls retry instead of hitting a poisoned pin — and the
+     * exception propagates to the caller(s) of the failed attempt.
+     */
     std::shared_ptr<const TraceBundle> get(const std::string &workload,
                                            const TraceOptions &opts = {});
 
@@ -108,17 +126,29 @@ class BundleCache
 
     struct Entry
     {
+        Key key;
         std::once_flag once;
+        /** Written only under mutex_; non-null once materialized. */
         std::shared_ptr<const TraceBundle> bundle;
+        /** Recency stamp, doubling as the key into lru_ (0 = absent). */
         uint64_t lastUse = 0;
     };
 
+    /** Refresh @p entry's recency stamp and its lru_ position. */
+    void touchLocked(Entry *entry);
+    /** Evict least-recent evictable entries down to capacity_. */
     void evictLocked(const Entry *keep);
+    /** Drop a never-materialized entry after its build failed. */
+    void removeFailedLocked(const std::shared_ptr<Entry> &entry);
 
     mutable std::mutex mutex_;
     std::map<Key, std::shared_ptr<Entry>> entries_;
+    /** Recency index: lastUse -> entry; stamps are unique, so eviction
+     *  pops from begin() in O(log n) instead of scanning entries_. */
+    std::map<uint64_t, std::shared_ptr<Entry>> lru_;
     uint64_t useClock_ = 0;
     size_t capacity_;
+    Builder builder_;
     BundleCacheStats stats_;
 };
 

@@ -1,0 +1,162 @@
+#include "trace/chrome_trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <unordered_map>
+
+namespace noreba {
+
+namespace {
+
+/** Track ids within the single trace process. */
+constexpr int TID_INSTRUCTIONS = 0;
+constexpr int TID_STALLS = 1;
+constexpr int TID_SQUASHES = 2;
+
+JsonValue
+baseEvent(const char *name, const char *ph, uint64_t ts, int tid)
+{
+    JsonValue e = JsonValue::object();
+    e.set("name", name)
+        .set("ph", ph)
+        .set("ts", ts)
+        .set("pid", 0)
+        .set("tid", tid);
+    return e;
+}
+
+JsonValue
+metadata(const char *kind, int tid, const std::string &name)
+{
+    JsonValue args = JsonValue::object();
+    args.set("name", name);
+    JsonValue e = JsonValue::object();
+    e.set("name", kind).set("ph", "M").set("pid", 0).set("tid", tid).set(
+        "args", std::move(args));
+    return e;
+}
+
+std::string
+hexPc(uint64_t pc)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%" PRIx64, pc);
+    return buf;
+}
+
+/** In-flight slice state while pairing fetch..commit records. */
+struct OpenSlice
+{
+    uint64_t fetchCycle = 0;
+    uint64_t pc = 0;
+    uint64_t dispatchCycle = 0;
+    uint64_t issueCycle = 0;
+    bool dispatched = false;
+    bool issued = false;
+};
+
+} // namespace
+
+JsonValue
+chromeTraceJson(const EventLog &log, const std::string &label)
+{
+    JsonValue events = JsonValue::array();
+    events.push(metadata("process_name", TID_INSTRUCTIONS, label));
+    events.push(
+        metadata("thread_name", TID_INSTRUCTIONS, "instructions"));
+    events.push(metadata("thread_name", TID_STALLS, "commit stalls"));
+    events.push(metadata("thread_name", TID_SQUASHES, "squashes"));
+
+    // A refetch after a squash re-opens the slice: the latest fetch
+    // before the commit wins, matching what the pipeline replayed.
+    std::unordered_map<TraceIdx, OpenSlice> open;
+    for (const TraceEvent &ev : log.snapshot()) {
+        switch (ev.type) {
+          case TraceEventType::Fetch: {
+            OpenSlice &s = open[ev.idx];
+            s = OpenSlice{};
+            s.fetchCycle = ev.cycle;
+            s.pc = ev.pc;
+            break;
+          }
+          case TraceEventType::Dispatch: {
+            auto it = open.find(ev.idx);
+            if (it != open.end()) {
+                it->second.dispatched = true;
+                it->second.dispatchCycle = ev.cycle;
+            }
+            break;
+          }
+          case TraceEventType::Issue: {
+            auto it = open.find(ev.idx);
+            if (it != open.end()) {
+                it->second.issued = true;
+                it->second.issueCycle = ev.cycle;
+            }
+            break;
+          }
+          case TraceEventType::Commit: {
+            auto it = open.find(ev.idx);
+            if (it == open.end())
+                break; // fetch fell off the ring: no span to draw
+            const OpenSlice &s = it->second;
+            JsonValue args = JsonValue::object();
+            args.set("idx", static_cast<int64_t>(ev.idx))
+                .set("pc", hexPc(s.pc));
+            if (s.dispatched)
+                args.set("dispatch", s.dispatchCycle);
+            if (s.issued)
+                args.set("issue", s.issueCycle);
+            JsonValue e = baseEvent("inst", "X", s.fetchCycle,
+                                    TID_INSTRUCTIONS);
+            uint64_t dur = ev.cycle > s.fetchCycle
+                               ? ev.cycle - s.fetchCycle
+                               : 1;
+            e.set("dur", dur).set("args", std::move(args));
+            events.push(std::move(e));
+            open.erase(it);
+            break;
+          }
+          case TraceEventType::Squash: {
+            JsonValue args = JsonValue::object();
+            args.set("branchIdx", static_cast<int64_t>(ev.idx))
+                .set("pc", hexPc(ev.pc));
+            JsonValue e =
+                baseEvent("squash", "i", ev.cycle, TID_SQUASHES);
+            e.set("s", "t").set("args", std::move(args));
+            events.push(std::move(e));
+            break;
+          }
+          case TraceEventType::CommitStall: {
+            JsonValue e = baseEvent(stallCauseName(ev.cause), "i",
+                                    ev.cycle, TID_STALLS);
+            JsonValue args = JsonValue::object();
+            if (ev.idx != TRACE_NONE)
+                args.set("headIdx", static_cast<int64_t>(ev.idx))
+                    .set("headPc", hexPc(ev.pc));
+            e.set("s", "t").set("args", std::move(args));
+            events.push(std::move(e));
+            break;
+          }
+        }
+    }
+
+    JsonValue doc = JsonValue::object();
+    doc.set("traceEvents", std::move(events))
+        .set("displayTimeUnit", "ms")
+        .set("otherData",
+             JsonValue::object()
+                 .set("generator", "noreba EventLog")
+                 .set("droppedEvents", log.dropped())
+                 .set("retainedEvents", static_cast<uint64_t>(log.size())));
+    return doc;
+}
+
+void
+writeChromeTrace(const std::string &path, const EventLog &log,
+                 const std::string &label)
+{
+    writeJsonFile(path, chromeTraceJson(log, label));
+}
+
+} // namespace noreba

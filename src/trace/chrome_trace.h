@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Chrome-trace (chrome://tracing / Perfetto) exporter for EventLog
+ * contents. The exporter pairs each instruction's fetch and commit
+ * records into one duration ("X") slice on an "instructions" track,
+ * annotated with its dispatch/issue cycles, and renders squashes and
+ * per-cycle commit-stall attributions as instant ("i") events on their
+ * own tracks. Timestamps are simulated cycles expressed as trace
+ * microseconds, so one timeline unit is one core cycle.
+ */
+
+#ifndef NOREBA_TRACE_CHROME_TRACE_H
+#define NOREBA_TRACE_CHROME_TRACE_H
+
+#include <string>
+
+#include "common/json.h"
+#include "trace/event_log.h"
+
+namespace noreba {
+
+/**
+ * Build the Chrome trace document ({"traceEvents": [...]}) for the
+ * retained events. @p label names the process in the trace UI
+ * (typically "<workload>/<commit mode>").
+ */
+JsonValue chromeTraceJson(const EventLog &log, const std::string &label);
+
+/** chromeTraceJson + crash-atomic write to @p path. */
+void writeChromeTrace(const std::string &path, const EventLog &log,
+                      const std::string &label);
+
+} // namespace noreba
+
+#endif // NOREBA_TRACE_CHROME_TRACE_H

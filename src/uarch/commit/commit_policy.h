@@ -18,6 +18,7 @@
 #include <memory>
 
 #include "interp/trace.h"
+#include "trace/events.h"
 #include "uarch/config.h"
 #include "uarch/inflight.h"
 
@@ -54,6 +55,18 @@ class CommitPolicy
      * instructions live in the commit queues).
      */
     virtual bool windowHasSpace(const PipelineView &view) const;
+
+    /**
+     * Attribute a cycle that retired fewer instructions than the commit
+     * width to exactly one cause. Called by the core after commitCycle
+     * with @p head = the oldest uncommitted instruction (never null —
+     * the empty-window case is classified by the core itself). The
+     * default classification covers the in-order-head policies;
+     * guard-chain and queue-structured policies refine it. Must return
+     * one of HeadBranch, HeadMem, HeadExec, Fence, or Structural.
+     */
+    virtual StallCause classifyStall(const PipelineView &view,
+                                     const InFlight *head) const;
 
     virtual const char *name() const = 0;
 };

@@ -66,6 +66,7 @@ class NorebaCommit : public CommitPolicy
     void
     commitCycle(PipelineView &view) override
     {
+        steerStall_ = SteerStall::None;
         reclaimCit(view);
         commitFromQueues(view);
         steer(view);
@@ -94,7 +95,39 @@ class NorebaCommit : public CommitPolicy
 
     const char *name() const override { return "Noreba"; }
 
+    StallCause
+    classifyStall(const PipelineView &view,
+                  const InFlight *head) const override
+    {
+        if (!head->steered) {
+            // The oldest uncommitted instruction is un-steered, so it
+            // is the ROB' head (everything ahead of it in the FIFO
+            // would be older, un-steered, hence uncommitted). Charge
+            // whatever kept the steer stage from moving it; with no
+            // recorded block it simply missed this cycle's steer
+            // bandwidth, a structural limit.
+            if (steerStall_ == SteerStall::Tlb)
+                return StallCause::HeadMem;
+            return StallCause::Structural;
+        }
+        StallCause base = CommitPolicy::classifyStall(view, head);
+        // A completed, checked queue head only waits on its compiler
+        // guard chain (branch C5 / order-sensitive re-validation);
+        // CIT-full blocks stay structural.
+        if (base == StallCause::Structural &&
+            !view.guardChainResolved(head))
+            return StallCause::HeadBranch;
+        return base;
+    }
+
   private:
+    enum class SteerStall
+    {
+        None,
+        Tlb,
+        Cqt,
+        CqFull,
+    };
     std::deque<InFlight *> &
     queueOf(int cq)
     {
@@ -221,6 +254,7 @@ class NorebaCommit : public CommitPolicy
             // In-order page-table check before leaving the ROB'.
             if (isMem(rec.op) && !view.tlbDone(p)) {
                 stalled = true;
+                steerStall_ = SteerStall::Tlb;
                 ++view.stats().steerStallTlb;
                 break;
             }
@@ -237,6 +271,7 @@ class NorebaCommit : public CommitPolicy
                 if (cqt_.size() >=
                     static_cast<size_t>(srob_.cqtEntries)) {
                     stalled = true;
+                    steerStall_ = SteerStall::Cqt;
                     ++view.stats().steerStallCqt;
                     break; // CQT full: the ROB' head waits
                 }
@@ -249,12 +284,14 @@ class NorebaCommit : public CommitPolicy
                     targetCq = pickBrCq();
                     if (targetCq == -2) {
                         stalled = true;
+                        steerStall_ = SteerStall::CqFull;
                         ++view.stats().steerStallCqFull;
                         break; // all BR-CQs full
                     }
                 }
                 if (queueOf(targetCq).size() >= capacityOf(targetCq)) {
                     stalled = true;
+                    steerStall_ = SteerStall::CqFull;
                     ++view.stats().steerStallCqFull;
                     break;
                 }
@@ -264,6 +301,7 @@ class NorebaCommit : public CommitPolicy
             } else {
                 if (queueOf(targetCq).size() >= capacityOf(targetCq)) {
                     stalled = true;
+                    steerStall_ = SteerStall::CqFull;
                     ++view.stats().steerStallCqFull;
                     break;
                 }
@@ -341,6 +379,8 @@ class NorebaCommit : public CommitPolicy
     int citLive_ = 0;
     /** Per-cycle CIT-stall block flags, [0] = PR-CQ, [1+i] = BR-CQ i. */
     std::vector<char> blocked_;
+    /** What (if anything) blocked the steer stage this cycle. */
+    SteerStall steerStall_ = SteerStall::None;
 };
 
 std::unique_ptr<CommitPolicy>

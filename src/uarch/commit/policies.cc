@@ -160,6 +160,19 @@ class IdealReconvCommit : public CommitPolicy
     }
 
     const char *name() const override { return "IdealReconv"; }
+
+    StallCause
+    classifyStall(const PipelineView &view,
+                  const InFlight *head) const override
+    {
+        StallCause base = CommitPolicy::classifyStall(view, head);
+        // With no queue limits, a completed head only waits on its
+        // compiler guard chain — charge the branches, not hardware.
+        if (base == StallCause::Structural &&
+            !view.guardChainResolved(head))
+            return StallCause::HeadBranch;
+        return base;
+    }
 };
 
 /**
@@ -209,6 +222,22 @@ class ValidationBufferCommit : public CommitPolicy
 
     const char *name() const override { return "ValidationBuffer"; }
 
+    StallCause
+    classifyStall(const PipelineView &view,
+                  const InFlight *head) const override
+    {
+        StallCause base = CommitPolicy::classifyStall(view, head);
+        if (base != StallCause::Structural || nextBranch_.empty())
+            return base;
+        // A completed head waiting for its epoch to close is stalled on
+        // the initiator branch, not on buffer capacity.
+        TraceIdx closer = nextBranch_[static_cast<size_t>(head->idx)];
+        TraceIdx needed = closer == TRACE_NONE ? head->idx : closer;
+        if (needed >= view.oldestUnresolvedBranch())
+            return StallCause::HeadBranch;
+        return base;
+    }
+
   private:
     void
     buildEpochs(const PipelineView &view)
@@ -232,6 +261,27 @@ CommitPolicy::windowHasSpace(const PipelineView &view) const
     // Collapsing/conventional ROB: an entry is reclaimed the moment it
     // commits, so occupancy is the uncommitted in-flight count.
     return view.windowUsed() < view.config().robEntries;
+}
+
+StallCause
+CommitPolicy::classifyStall(const PipelineView &view,
+                            const InFlight *head) const
+{
+    // The head is the oldest uncommitted in-flight instruction, so no
+    // older FENCE can block it; only the head *being* a not-yet-ripe
+    // FENCE charges the fence bucket.
+    if (head->rec->op == Opcode::FENCE &&
+        !view.commitEligibleBasic(head))
+        return StallCause::Fence;
+    if (head->isBranch && !(head->resolved && head->completed))
+        return StallCause::HeadBranch;
+    if (isMem(head->rec->op) && !view.tlbDone(head))
+        return StallCause::HeadMem;
+    if (!head->completed)
+        return StallCause::HeadExec;
+    // Completed, resolved, checked — the policy's own structures (or
+    // its barriers) are what held it back.
+    return StallCause::Structural;
 }
 
 std::unique_ptr<CommitPolicy> makeNorebaCommit(const CoreConfig &cfg);

@@ -8,6 +8,7 @@
 #ifndef NOREBA_UARCH_CONFIG_H
 #define NOREBA_UARCH_CONFIG_H
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -120,6 +121,13 @@ struct CoreConfig
     /** Re-derive every PipelineIndex answer from a naive ROB scan each
      *  cycle and panic on divergence (differential testing only). */
     bool shadowIndexCheck = false;
+    /** Record pipeline events into an in-core EventLog ring. Emission
+     *  never touches CoreStats, so enabling this leaves every counter
+     *  bit-identical. Compiled out entirely under NOREBA_NO_EVENT_TRACE
+     *  (CMake -DNOREBA_EVENT_TRACE=OFF). */
+    bool eventTrace = false;
+    /** Ring capacity (retained events) when eventTrace is on. */
+    size_t eventTraceCapacity = 1u << 16;
     /** @} */
 };
 

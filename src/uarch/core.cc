@@ -5,6 +5,21 @@
 
 #include "common/logging.h"
 
+/**
+ * Pipeline-event emission. A single null test when tracing is
+ * configured off; removed entirely under -DNOREBA_EVENT_TRACE=OFF.
+ * Emission never touches CoreStats, so tracing cannot perturb results.
+ */
+#ifndef NOREBA_NO_EVENT_TRACE
+#define NOREBA_EMIT(type, idx, pc, cause)                                 \
+    do {                                                                  \
+        if (eventLog_)                                                    \
+            eventLog_->emit(cycle_, (type), (idx), (pc), (cause));        \
+    } while (0)
+#else
+#define NOREBA_EMIT(type, idx, pc, cause) ((void)0)
+#endif
+
 namespace noreba {
 
 namespace {
@@ -51,6 +66,12 @@ Core::Core(const CoreConfig &cfg, TraceView trace,
     // rollback, which a trace-driven model does not need; the pipeline
     // flush and refetch are real in every design.
     freeCommittedSkip_ = false;
+#ifndef NOREBA_NO_EVENT_TRACE
+    if (cfg_.eventTrace) {
+        ownedLog_ = std::make_unique<EventLog>(cfg_.eventTraceCapacity);
+        eventLog_ = ownedLog_.get();
+    }
+#endif
 }
 
 Core::~Core() = default;
@@ -101,6 +122,8 @@ Core::commit(InFlight *p)
     panic_if(p->committed, "double commit of trace idx %d", p->idx);
     if (commitHook)
         commitHook(view_, *p);
+    NOREBA_EMIT(TraceEventType::Commit, p->idx, p->rec->pc,
+                StallCause::None);
     committed_[static_cast<size_t>(p->idx)] = 1;
     p->committed = true;
     ++commitsThisCycle_;
@@ -178,6 +201,8 @@ void
 Core::squashAfter(InFlight *b)
 {
     ++stats_.squashes;
+    NOREBA_EMIT(TraceEventType::Squash, b->idx, b->rec->pc,
+                StallCause::None);
 
     // Front end restarts on the correct path after the redirect.
     for (InFlight *p : ifq_)
@@ -307,6 +332,37 @@ Core::commitStage()
                   .stallCycles;
         }
     }
+
+    // Per-cycle commit-stall attribution: every cycle is charged to
+    // exactly one bucket — full-width retirement, or one StallCause
+    // (the causes partition commitStallCycles; see DESIGN.md §10).
+    if (commitsThisCycle_ >=
+        static_cast<uint64_t>(cfg_.commitWidth)) {
+        ++stats_.commitWidthFullCycles;
+        return;
+    }
+    ++stats_.commitStallCycles;
+    InFlight *head = index_.frontierHead();
+    StallCause cause = head ? policy_->classifyStall(view_, head)
+                            : StallCause::Empty;
+    switch (cause) {
+      case StallCause::Empty: ++stats_.stallEmptyCycles; break;
+      case StallCause::HeadBranch:
+        ++stats_.stallHeadBranchCycles;
+        break;
+      case StallCause::HeadMem: ++stats_.stallHeadMemCycles; break;
+      case StallCause::HeadExec: ++stats_.stallHeadExecCycles; break;
+      case StallCause::Fence: ++stats_.stallFenceCycles; break;
+      case StallCause::Structural:
+        ++stats_.stallStructuralCycles;
+        break;
+      default:
+        panic("commit-stall classification returned %s",
+              stallCauseName(cause));
+    }
+    NOREBA_EMIT(TraceEventType::CommitStall,
+                head ? head->idx : TRACE_NONE,
+                head ? head->rec->pc : 0, cause);
 }
 
 bool
@@ -400,6 +456,8 @@ Core::issueStage()
                     latency = execLatency(rec.op);
                 }
                 if (!blocked) {
+                    NOREBA_EMIT(TraceEventType::Issue, p->idx, rec.pc,
+                                StallCause::None);
                     consumeFu(cls, latency);
                     p->issued = true;
                     p->inIq = false;
@@ -516,6 +574,8 @@ Core::dispatchStage()
                       .dependents;
         }
 
+        NOREBA_EMIT(TraceEventType::Dispatch, p->idx, rec.pc,
+                    StallCause::None);
         policy_->onDispatch(view_, p);
         --budget;
     }
@@ -596,6 +656,8 @@ Core::fetchStage()
         p->fetchAt = cycle_;
         p->mispredicted = misp_[static_cast<size_t>(fetchIdx_)] != 0;
         ifq_.push_back(p);
+        NOREBA_EMIT(TraceEventType::Fetch, p->idx, rec.pc,
+                    StallCause::None);
         ++stats_.fetched;
         if (rec.isSetup())
             ++stats_.setupFetched;
@@ -641,6 +703,30 @@ Core::run()
     stats_.cycles = cycle_;
     stats_.l2Accesses = mem_.l2().hits() + mem_.l2().misses();
     stats_.l3Accesses = mem_.l3().hits() + mem_.l3().misses();
+
+    // The attribution counters must partition the run: each cycle is
+    // either a full-width commit cycle or charged to one stall cause.
+    uint64_t causes = stats_.stallEmptyCycles +
+                      stats_.stallHeadBranchCycles +
+                      stats_.stallHeadMemCycles +
+                      stats_.stallHeadExecCycles +
+                      stats_.stallFenceCycles +
+                      stats_.stallStructuralCycles;
+    panic_if(causes != stats_.commitStallCycles,
+             "stall causes (%llu) do not sum to commitStallCycles "
+             "(%llu) under policy %s",
+             static_cast<unsigned long long>(causes),
+             static_cast<unsigned long long>(stats_.commitStallCycles),
+             policy_->name());
+    panic_if(stats_.commitStallCycles + stats_.commitWidthFullCycles !=
+                 stats_.cycles,
+             "stall + full-width cycles (%llu) do not sum to total "
+             "cycles (%llu) under policy %s",
+             static_cast<unsigned long long>(
+                 stats_.commitStallCycles +
+                 stats_.commitWidthFullCycles),
+             static_cast<unsigned long long>(stats_.cycles),
+             policy_->name());
     return stats_;
 }
 

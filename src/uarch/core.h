@@ -32,6 +32,7 @@
 #include <queue>
 #include <vector>
 
+#include "trace/event_log.h"
 #include "uarch/branch_predictor.h"
 #include "uarch/cache.h"
 #include "uarch/commit/commit_policy.h"
@@ -68,6 +69,16 @@ class Core
      */
     std::function<void(const PipelineView &, const InFlight &)>
         commitHook;
+
+    /**
+     * Record pipeline events into an externally owned log (replaces
+     * the config-owned one, if any). Emission never touches CoreStats;
+     * pass nullptr to detach.
+     */
+    void attachEventLog(EventLog *log) { eventLog_ = log; }
+
+    /** The active event log, or nullptr when tracing is off. */
+    EventLog *eventLog() const { return eventLog_; }
 
   private:
     friend class PipelineView; // commit() forwarding only
@@ -171,6 +182,11 @@ class Core
     CoreStats stats_;
     /** Oracle policies skip re-fetch of committed records for free. */
     bool freeCommittedSkip_ = false;
+
+    /** @name Event tracing (null/empty unless enabled) @{ */
+    std::unique_ptr<EventLog> ownedLog_;
+    EventLog *eventLog_ = nullptr;
+    /** @} */
 };
 
 } // namespace noreba

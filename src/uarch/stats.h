@@ -57,6 +57,15 @@ struct BranchStall
     C(windowFullCycles, "dispatch blocked on ROB/window")                 \
     C(commitHeadBranchStall, "commit idle, head = branch")                \
     C(commitHeadLoadStall, "commit idle, head = memory")                  \
+    /* commit-stall attribution (one cause per stall cycle) */            \
+    C(commitStallCycles, "cycles with unused commit width")               \
+    C(stallEmptyCycles, "... window empty (front end starved)")           \
+    C(stallHeadBranchCycles, "... head is an unresolved branch")          \
+    C(stallHeadMemCycles, "... head memory op awaits its check")          \
+    C(stallHeadExecCycles, "... head still executing")                    \
+    C(stallFenceCycles, "... head held behind a fence")                   \
+    C(stallStructuralCycles, "... SROB/CQT/CQ/CIT structural limit")      \
+    C(commitWidthFullCycles, "cycles retiring at full commit width")      \
     C(steerStallCycles, "Noreba ROB' head blocked")                       \
     C(steerStallTlb, "... on the in-order TLB check")                     \
     C(steerStallCqt, "... on a full CQT")                                 \

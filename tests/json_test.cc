@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the JSON parser and the hardened writer: parse round-trips,
+ * error reporting with byte offsets, 64-bit number precision, string
+ * escapes (including surrogate pairs), crash-atomic writeJsonFile
+ * publication, and locale-independence of numeric output.
+ */
+
+#include <clocale>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <dirent.h>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+using namespace noreba;
+
+namespace {
+
+JsonValue
+parseOk(const std::string &text)
+{
+    std::string err;
+    JsonValue v = JsonValue::parse(text, &err);
+    EXPECT_TRUE(err.empty()) << text << ": " << err;
+    return v;
+}
+
+void
+expectParseError(const std::string &text, const char *needle)
+{
+    std::string err;
+    JsonValue v = JsonValue::parse(text, &err);
+    EXPECT_FALSE(err.empty()) << text;
+    EXPECT_TRUE(v.isNull()) << text;
+    EXPECT_NE(err.find(needle), std::string::npos)
+        << text << ": got \"" << err << "\"";
+    // Every error names the byte offset of the first problem.
+    EXPECT_NE(err.find("at byte"), std::string::npos) << err;
+}
+
+TEST(JsonParse, RoundTripsNestedDocument)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("name", "bench")
+        .set("count", uint64_t{42})
+        .set("delta", -7)
+        .set("ratio", 1.5)
+        .set("ok", true)
+        .set("missing", JsonValue());
+    JsonValue arr = JsonValue::array();
+    arr.push(1).push("two").push(JsonValue::object().set("k", false));
+    doc.set("items", std::move(arr));
+
+    // dump -> parse -> dump is the identity on writer output (both
+    // compact and pretty forms parse to the same value).
+    std::string text = doc.dump();
+    JsonValue parsed = parseOk(text);
+    EXPECT_EQ(parsed.dump(), text);
+    EXPECT_EQ(parseOk(doc.dump(2)).dump(), text);
+
+    EXPECT_EQ(parsed.find("name")->asString(), "bench");
+    EXPECT_EQ(parsed.find("count")->asUint(), 42u);
+    EXPECT_EQ(parsed.find("delta")->asInt(), -7);
+    EXPECT_EQ(parsed.find("ratio")->asDouble(), 1.5);
+    EXPECT_TRUE(parsed.find("ok")->asBool());
+    EXPECT_TRUE(parsed.find("missing")->isNull());
+    EXPECT_EQ(parsed.find("absent"), nullptr);
+    const JsonValue *items = parsed.find("items");
+    ASSERT_TRUE(items && items->isArray());
+    EXPECT_EQ(items->at(1).asString(), "two");
+}
+
+TEST(JsonParse, NumberKindsKeepFullPrecision)
+{
+    EXPECT_EQ(parseOk("9223372036854775807").asInt(), INT64_MAX);
+    EXPECT_EQ(parseOk("-9223372036854775808").asInt(), INT64_MIN);
+    // Past INT64_MAX integers land in the Uint kind, not a lossy double.
+    EXPECT_EQ(parseOk("18446744073709551615").asUint(), UINT64_MAX);
+    EXPECT_EQ(parseOk("1e3").asDouble(), 1000.0);
+    EXPECT_EQ(parseOk("-2.5E-1").asDouble(), -0.25);
+    EXPECT_EQ(parseOk("0").asUint(), 0u);
+    // A non-negative Int converts through asUint; a fitting Uint
+    // through asInt.
+    EXPECT_EQ(parseOk("7").asUint(), 7u);
+    EXPECT_EQ(parseOk("7").asInt(), 7);
+}
+
+TEST(JsonParse, StringEscapesAndSurrogates)
+{
+    EXPECT_EQ(parseOk("\"a\\\"b\\\\c\\n\\t\"").asString(), "a\"b\\c\n\t");
+    EXPECT_EQ(parseOk("\"\\u0041\"").asString(), "A");
+    EXPECT_EQ(parseOk("\"\\u00e9\"").asString(), "\xc3\xa9");
+    // Surrogate pair: U+1F600 as UTF-8.
+    EXPECT_EQ(parseOk("\"\\ud83d\\ude00\"").asString(),
+              "\xf0\x9f\x98\x80");
+    // The writer's escaping must parse back to the original bytes.
+    std::string nasty = "quote\" slash\\ ctl\x01 text";
+    EXPECT_EQ(parseOk(JsonValue::escape(nasty)).asString(), nasty);
+}
+
+TEST(JsonParse, ReportsErrorsWithOffsets)
+{
+    expectParseError("", "unexpected end of input");
+    expectParseError("{\"a\":}", "invalid number");
+    expectParseError("[1,2", "unterminated array");
+    expectParseError("{\"a\" 1}", "expected ':'");
+    expectParseError("[1] x", "trailing characters");
+    expectParseError("tru", "invalid literal");
+    expectParseError("\"\\ud800\"", "unpaired surrogate");
+    expectParseError("\"\\q\"", "invalid escape");
+    expectParseError("01x", "trailing characters");
+    expectParseError("1.", "invalid number");
+
+    std::string deep(200, '[');
+    expectParseError(deep, "nesting too deep");
+}
+
+TEST(JsonWrite, FileIsPublishedAtomicallyAndLeavesNoTemps)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string path = dir + "json_write_test.json";
+
+    JsonValue first = JsonValue::object();
+    first.set("generation", 1);
+    writeJsonFile(path, first);
+
+    // Overwrite via rename: the second generation fully replaces the
+    // first.
+    JsonValue second = JsonValue::object();
+    second.set("generation", 2).set("extra", "yes");
+    writeJsonFile(path, second);
+
+    std::string text;
+    {
+        FILE *f = std::fopen(path.c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        char buf[4096];
+        size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            text.append(buf, n);
+        std::fclose(f);
+    }
+    std::string err;
+    JsonValue parsed = JsonValue::parse(text, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(parsed.find("generation")->asInt(), 2);
+    EXPECT_EQ(parsed.find("extra")->asString(), "yes");
+
+    // No .tmp. intermediates survive a successful publish.
+    DIR *d = ::opendir(dir.c_str());
+    ASSERT_NE(d, nullptr);
+    while (struct dirent *ent = ::readdir(d)) {
+        EXPECT_EQ(std::strstr(ent->d_name, "json_write_test.json.tmp."),
+                  nullptr)
+            << "leftover temp file " << ent->d_name;
+    }
+    ::closedir(d);
+    std::remove(path.c_str());
+}
+
+TEST(JsonWrite, NumbersIgnoreCommaDecimalLocale)
+{
+    // Force a comma-decimal locale if the image ships one; the dump
+    // must still be valid JSON ('.', not ',').
+    const char *candidates[] = {"de_DE.UTF-8", "de_DE", "fr_FR.UTF-8",
+                                "fr_FR", nullptr};
+    const char *chosen = nullptr;
+    for (const char **c = candidates; *c; ++c) {
+        if (std::setlocale(LC_NUMERIC, *c)) {
+            chosen = *c;
+            break;
+        }
+    }
+    if (!chosen)
+        GTEST_SKIP() << "no comma-decimal locale installed";
+    // Only meaningful if the locale really uses a comma.
+    if (std::strcmp(std::localeconv()->decimal_point, ".") == 0) {
+        std::setlocale(LC_NUMERIC, "C");
+        GTEST_SKIP() << "locale " << chosen << " uses '.' anyway";
+    }
+
+    std::string dumped = JsonValue(1.5).dump();
+    std::string err;
+    JsonValue round = JsonValue::parse(dumped, &err);
+    std::setlocale(LC_NUMERIC, "C");
+
+    EXPECT_EQ(dumped, "1.5");
+    EXPECT_TRUE(err.empty()) << err;
+    EXPECT_EQ(round.asDouble(), 1.5);
+}
+
+} // namespace

@@ -8,6 +8,8 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <stdexcept>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -31,25 +33,30 @@ shortTrace()
     return opts;
 }
 
-/** Every scalar field of CoreStats, for bit-identity comparisons. */
+/**
+ * Every scalar field of CoreStats, for bit-identity comparisons.
+ * Walks the CORE_STATS_FIELDS descriptor table, so counters added to
+ * the X-macro are covered without touching this test.
+ */
 std::vector<uint64_t>
 statsFingerprint(const CoreStats &s)
 {
-    return {s.cycles,         s.committedInsts,  s.committedOoO,
-            s.committedAhead, s.fetched,         s.setupFetched,
-            s.citDrops,       s.icacheStallCycles, s.branches,
-            s.mispredicts,    s.squashes,        s.squashedInsts,
-            s.dispatched,     s.issued,          s.windowFullCycles,
-            s.commitHeadBranchStall, s.commitHeadLoadStall,
-            s.steerStallCycles, s.steerStallTlb, s.steerStallCqt,
-            s.steerStallCqFull, s.citFullStalls, s.rfReads,
-            s.rfWrites,       s.iqWrites,        s.iqWakeups,
-            s.robWrites,      s.robReads,        s.lsqOps,
-            s.bpredLookups,   s.icacheAccesses,  s.dcacheAccesses,
-            s.l2Accesses,     s.l3Accesses,      s.intAluOps,
-            s.fpAluOps,       s.cmplxAluOps,     s.renameOps,
-            s.cdbBroadcasts,  s.bitOps,          s.dctOps,
-            s.cqtOps,         s.citOps,          s.cqOps};
+    std::vector<uint64_t> out;
+    for (const CoreStatsField &f : CORE_STATS_FIELDS)
+        if (f.counter)
+            out.push_back(s.*f.counter);
+    return out;
+}
+
+/** Builder producing cheap synthetic bundles (never simulated). */
+BundleCache::Builder
+syntheticBuilder()
+{
+    return [](const std::string &workload, const TraceOptions &) {
+        TraceBundle b;
+        b.workload = workload;
+        return b;
+    };
 }
 
 TEST(ThreadPool, RunsEverySubmittedTask)
@@ -74,6 +81,110 @@ TEST(ThreadPool, WaitIsReusableAcrossBatches)
         pool.submit([&count] { ++count; });
     pool.wait();
     EXPECT_EQ(count.load(), 11);
+}
+
+TEST(ThreadPool, WaitRethrowsFirstTaskException)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 16; ++i) {
+        pool.submit([&ran, i] {
+            ++ran;
+            if (i % 2 == 0)
+                throw std::runtime_error("injected task failure");
+        });
+    }
+    // wait() drains the queue first, then rethrows the first error —
+    // a throwing task never terminates the process or wedges the pool.
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(ran.load(), 16);
+
+    // The error slot was consumed: the pool keeps working and a clean
+    // batch waits without throwing.
+    pool.submit([&ran] { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 17);
+}
+
+TEST(BundleCache, FailedBuildEvictsEntryAndPropagates)
+{
+    std::atomic<int> calls{0};
+    BundleCache cache(0, [&](const std::string &w, const TraceOptions &) {
+        if (calls++ == 0)
+            throw std::runtime_error("injected build failure");
+        TraceBundle b;
+        b.workload = w;
+        return b;
+    });
+    EXPECT_THROW(cache.get("synthetic", {}), std::runtime_error);
+    // The never-materialized entry must not stay pinned in the cache.
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stats().builds, 0u);
+
+    // A retry on the same key builds fresh instead of hitting a
+    // poisoned entry.
+    auto bundle = cache.get("synthetic", {});
+    ASSERT_NE(bundle, nullptr);
+    EXPECT_EQ(bundle->workload, "synthetic");
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.stats().builds, 1u);
+    EXPECT_EQ(calls.load(), 2);
+}
+
+TEST(BundleCache, ConcurrentWaitersCountAsSharedBuildsNotHits)
+{
+    std::atomic<bool> release{false};
+    BundleCache cache(0, [&](const std::string &w, const TraceOptions &) {
+        while (!release.load())
+            std::this_thread::yield();
+        TraceBundle b;
+        b.workload = w;
+        return b;
+    });
+
+    constexpr uint64_t N = 6;
+    std::vector<std::thread> threads;
+    for (uint64_t i = 0; i < N; ++i)
+        threads.emplace_back([&] { cache.get("shared", {}); });
+    // Hold the build until every other getter has joined it, so the
+    // counter split is deterministic: one build, N-1 shared waiters.
+    while (cache.stats().sharedBuilds != N - 1)
+        std::this_thread::yield();
+    release = true;
+    for (auto &t : threads)
+        t.join();
+
+    BundleCacheStats s = cache.stats();
+    EXPECT_EQ(s.builds, 1u);
+    EXPECT_EQ(s.sharedBuilds, N - 1);
+    EXPECT_EQ(s.memHits, 0u);
+
+    // Only a get() against the resident bundle is a memory hit.
+    cache.get("shared", {});
+    EXPECT_EQ(cache.stats().memHits, 1u);
+    EXPECT_EQ(cache.stats().sharedBuilds, N - 1);
+}
+
+TEST(BundleCache, CapacityEvictsLeastRecentlyUsed)
+{
+    BundleCache cache(2, syntheticBuilder());
+    cache.get("a", {});
+    cache.get("b", {});
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+
+    cache.get("a", {}); // refresh: b becomes least recent
+    cache.get("c", {}); // evicts b
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+
+    cache.get("b", {}); // rebuild b, evicting a (oldest after refresh)
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 2u);
+    cache.get("c", {}); // c survived both evictions
+    BundleCacheStats s = cache.stats();
+    EXPECT_EQ(s.builds, 4u);
+    EXPECT_EQ(s.memHits, 2u);
 }
 
 TEST(Json, ScalarsAndEscaping)
