@@ -15,14 +15,59 @@
  *  - prefetcher off: interaction with DCPT (Figure 13 on SKL).
  */
 
-#include <functional>
+#include <cstdio>
+#include <cstdlib>
 
-#include "bench_util.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "experiments.h"
 
-using namespace noreba;
+namespace noreba::bench {
+
 using namespace noreba::benchutil;
 
 namespace {
+
+struct Variant
+{
+    const char *series; //!< result-handle key
+    const char *label;  //!< table row label
+    void (*tweak)(CoreConfig &);
+};
+
+/** The first entry is the default; every row's delta is against it. */
+constexpr Variant VARIANTS[] = {
+    {"default", "Noreba (default: sound, 2x8 CQs, CIT 128)",
+     [](CoreConfig &) {}},
+    {"no-instance-order", "no same-site instance ordering (paper Tab.1)",
+     [](CoreConfig &c) { c.srob.enforceInstanceOrder = false; }},
+    {"cit32", "CIT 32", [](CoreConfig &c) { c.srob.citEntries = 32; }},
+    {"cit512", "CIT 512",
+     [](CoreConfig &c) { c.srob.citEntries = 512; }},
+    {"cit4096", "CIT 4096 (~unbounded)",
+     [](CoreConfig &c) { c.srob.citEntries = 4096; }},
+    {"steer2", "steer width 2", [](CoreConfig &c) { c.steerWidth = 2; }},
+    {"steer8", "steer width 8", [](CoreConfig &c) { c.steerWidth = 8; }},
+    {"cq1x16", "one 16-entry BR-CQ (same capacity as 2x8)",
+     [](CoreConfig &c) {
+         c.srob.numBrCqs = 1;
+         c.srob.brCqEntries = 16;
+     }},
+    {"cq4x16", "4x16 BR-CQs",
+     [](CoreConfig &c) {
+         c.srob.numBrCqs = 4;
+         c.srob.brCqEntries = 16;
+     }},
+    {"no-pf", "no DCPT prefetcher",
+     [](CoreConfig &c) { c.prefetcher = false; }},
+};
+
+constexpr CommitMode PRIOR_MODES[] = {
+    CommitMode::NonSpecOoO,
+    CommitMode::ValidationBuffer,
+    CommitMode::IdealReconv,
+    CommitMode::SpeculativeBR,
+};
 
 std::vector<std::string>
 subset()
@@ -33,98 +78,78 @@ subset()
             "astar", "dijkstra", "bitcount"};
 }
 
-double
-geomeanFor(const std::function<void(CoreConfig &)> &tweak)
-{
-    Geomean geo;
-    for (const auto &name : subset()) {
-        const auto bundle = bundleFor(name);
-        CoreConfig ino = skylakeConfig();
-        ino.commitMode = CommitMode::InOrder;
-        CoreStats base = simulate(ino, *bundle);
-
-        CoreConfig cfg = skylakeConfig();
-        cfg.commitMode = CommitMode::Noreba;
-        tweak(cfg);
-        geo.sample(speedup(base, simulate(cfg, *bundle)));
-    }
-    return geo.value();
-}
-
 } // namespace
 
-int
-main()
+void
+registerAblationDesign()
 {
-    printHeader("Design ablations",
-                "Noreba variants and prior-work baselines, geomean "
-                "speedup over InO-C on a representative subset");
+    ExperimentSpec spec;
+    spec.name = "ablation_design";
+    spec.title = "Design ablations";
+    spec.description = "Noreba variants and prior-work baselines, "
+                       "geomean speedup over InO-C on a representative "
+                       "subset";
 
-    TextTable table;
-    table.setHeader({"variant", "geomean speedup", "delta vs default"});
-
-    double base = geomeanFor([](CoreConfig &) {});
-    auto row = [&](const char *name, double v) {
-        table.addRow({name, fmtDouble(v, 3),
-                      fmtPercent(v / base - 1.0)});
-    };
-
-    row("Noreba (default: sound, 2x8 CQs, CIT 128)", base);
-    row("no same-site instance ordering (paper Tab.1)",
-        geomeanFor([](CoreConfig &c) {
-            c.srob.enforceInstanceOrder = false;
-        }));
-    row("CIT 32", geomeanFor([](CoreConfig &c) {
-            c.srob.citEntries = 32;
-        }));
-    row("CIT 512", geomeanFor([](CoreConfig &c) {
-            c.srob.citEntries = 512;
-        }));
-    row("CIT 4096 (~unbounded)", geomeanFor([](CoreConfig &c) {
-            c.srob.citEntries = 4096;
-        }));
-    row("steer width 2", geomeanFor([](CoreConfig &c) {
-            c.steerWidth = 2;
-        }));
-    row("steer width 8", geomeanFor([](CoreConfig &c) {
-            c.steerWidth = 8;
-        }));
-    row("one 16-entry BR-CQ (same capacity as 2x8)",
-        geomeanFor([](CoreConfig &c) {
-            c.srob.numBrCqs = 1;
-            c.srob.brCqEntries = 16;
-        }));
-    row("4x16 BR-CQs", geomeanFor([](CoreConfig &c) {
-            c.srob.numBrCqs = 4;
-            c.srob.brCqEntries = 16;
-        }));
-    row("no DCPT prefetcher", geomeanFor([](CoreConfig &c) {
-            c.prefetcher = false;
-        }));
-    std::printf("%s\n", table.render().c_str());
-
-    // Prior-work baselines on the same subset.
-    TextTable prior;
-    prior.setHeader({"baseline (paper Table 4)", "geomean speedup"});
-    for (CommitMode mode :
-         {CommitMode::NonSpecOoO, CommitMode::ValidationBuffer,
-          CommitMode::IdealReconv, CommitMode::SpeculativeBR}) {
-        Geomean geo;
+    // One InO-C baseline per workload — the old standalone bench
+    // re-simulated it for every variant row — plus one job per
+    // (variant, workload) and (prior mode, workload).
+    spec.plan = [](ExperimentPlan &plan) {
         for (const auto &name : subset()) {
-            const auto bundle = bundleFor(name);
             CoreConfig ino = skylakeConfig();
             ino.commitMode = CommitMode::InOrder;
-            CoreStats b = simulate(ino, *bundle);
-            CoreConfig cfg = skylakeConfig();
-            cfg.commitMode = mode;
-            geo.sample(speedup(b, simulate(cfg, *bundle)));
+            plan.add(name, "InO-C", job(name, ino));
         }
-        prior.addRow({commitModeName(mode),
-                      fmtDouble(geo.value(), 3)});
-    }
-    std::printf("%s\n", prior.render().c_str());
-    std::printf("Expected: ValidationBuffer <= NonSpeculative-OoO-C "
-                "<< Noreba; CIT and queue sizes saturate near the "
-                "paper's Table 2 values\n");
-    return 0;
+        for (const Variant &v : VARIANTS) {
+            for (const auto &name : subset()) {
+                CoreConfig cfg = skylakeConfig();
+                cfg.commitMode = CommitMode::Noreba;
+                v.tweak(cfg);
+                plan.add(name, v.series, job(name, cfg));
+            }
+        }
+        for (CommitMode mode : PRIOR_MODES) {
+            for (const auto &name : subset()) {
+                CoreConfig cfg = skylakeConfig();
+                cfg.commitMode = mode;
+                plan.add(name, commitModeName(mode), job(name, cfg));
+            }
+        }
+    };
+
+    spec.report = [](const ExperimentResults &r) {
+        auto geomeanFor = [&](const std::string &series) {
+            Geomean geo;
+            for (const auto &name : subset())
+                geo.sample(
+                    speedup(r.at(name, "InO-C"), r.at(name, series)));
+            return geo.value();
+        };
+
+        TextTable table;
+        table.setHeader(
+            {"variant", "geomean speedup", "delta vs default"});
+        const double base = geomeanFor(VARIANTS[0].series);
+        for (const Variant &v : VARIANTS) {
+            double value = geomeanFor(v.series);
+            table.addRow({v.label, fmtDouble(value, 3),
+                          fmtPercent(value / base - 1.0)});
+        }
+        std::printf("%s\n", table.render().c_str());
+
+        // Prior-work baselines on the same subset.
+        TextTable prior;
+        prior.setHeader({"baseline (paper Table 4)", "geomean speedup"});
+        for (CommitMode mode : PRIOR_MODES)
+            prior.addRow({commitModeName(mode),
+                          fmtDouble(geomeanFor(commitModeName(mode)),
+                                    3)});
+        std::printf("%s\n", prior.render().c_str());
+        std::printf("Expected: ValidationBuffer <= NonSpeculative-OoO-C "
+                    "<< Noreba; CIT and queue sizes saturate near the "
+                    "paper's Table 2 values\n");
+    };
+
+    registerExperiment(std::move(spec));
 }
+
+} // namespace noreba::bench

@@ -13,90 +13,104 @@
  * branches dominating is exactly the observation the paper builds on.
  */
 
-#include "bench_util.h"
+#include <cstdio>
+#include <map>
 
-using namespace noreba;
+#include "common/stats.h"
+#include "common/table.h"
+#include "experiments.h"
+
+namespace noreba::bench {
+
 using namespace noreba::benchutil;
 
-int
-main()
+namespace {
+
+constexpr CommitMode MODES[] = {
+    CommitMode::InOrder,
+    CommitMode::NonSpecOoO,
+    CommitMode::SpeculativeBR,
+    CommitMode::SpeculativeFull,
+};
+
+} // namespace
+
+void
+registerFig01Motivation()
 {
-    printHeader("Figure 1 (motivation)",
-                "OoO-commit upper bounds over InO-C, Skylake-like core, "
-                "SPEC subset");
+    ExperimentSpec spec;
+    spec.name = "fig01_motivation";
+    spec.title = "Figure 1 (motivation)";
+    spec.description = "OoO-commit upper bounds over InO-C, Skylake-like "
+                       "core, SPEC subset";
 
-    const CommitMode modes[] = {
-        CommitMode::InOrder,
-        CommitMode::NonSpecOoO,
-        CommitMode::SpeculativeBR,
-        CommitMode::SpeculativeFull,
-    };
-    constexpr size_t NUM_MODES = std::size(modes);
-
-    const std::vector<std::string> workloads = specWorkloads();
-    std::vector<SweepJob> jobs;
-    for (const auto &name : workloads) {
-        for (CommitMode mode : modes) {
-            CoreConfig cfg = skylakeConfig();
-            cfg.commitMode = mode;
-            jobs.push_back(job(name, cfg));
+    spec.plan = [](ExperimentPlan &plan) {
+        for (const auto &name : specWorkloads()) {
+            for (CommitMode mode : MODES) {
+                CoreConfig cfg = skylakeConfig();
+                cfg.commitMode = mode;
+                plan.add(name, commitModeName(mode), job(name, cfg));
+            }
         }
-    }
-    const std::vector<SweepResult> results = SweepRunner().run(jobs);
-    auto statsOf = [&](size_t w, size_t m) -> const CoreStats & {
-        return results[w * NUM_MODES + m].stats;
     };
 
-    TextTable table;
-    table.setHeader({"benchmark", "NonSpeculative-OoO-C",
-                     "SpeculativeBR-OoO-C", "Speculative-OoO-C"});
-    std::map<CommitMode, Geomean> geo;
+    spec.report = [](const ExperimentResults &r) {
+        const std::vector<std::string> workloads = specWorkloads();
 
-    for (size_t w = 0; w < workloads.size(); ++w) {
-        const CoreStats &ino = statsOf(w, 0);
-        std::vector<std::string> row{workloads[w]};
-        for (size_t m = 1; m < NUM_MODES; ++m) {
-            double sp = speedup(ino, statsOf(w, m));
-            geo[modes[m]].sample(sp);
-            row.push_back(fmtDouble(sp, 3));
+        TextTable table;
+        table.setHeader({"benchmark", "NonSpeculative-OoO-C",
+                         "SpeculativeBR-OoO-C", "Speculative-OoO-C"});
+        std::map<CommitMode, Geomean> geo;
+
+        for (const auto &w : workloads) {
+            const CoreStats &ino = r.at(w, commitModeName(MODES[0]));
+            std::vector<std::string> row{w};
+            for (size_t m = 1; m < std::size(MODES); ++m) {
+                double sp =
+                    speedup(ino, r.at(w, commitModeName(MODES[m])));
+                geo[MODES[m]].sample(sp);
+                row.push_back(fmtDouble(sp, 3));
+            }
+            table.addRow(row);
         }
-        table.addRow(row);
-    }
-    table.addRow({"geomean", fmtDouble(geo[modes[1]].value(), 3),
-                  fmtDouble(geo[modes[2]].value(), 3),
-                  fmtDouble(geo[modes[3]].value(), 3)});
-    std::printf("%s\n", table.render().c_str());
+        table.addRow({"geomean", fmtDouble(geo[MODES[1]].value(), 3),
+                      fmtDouble(geo[MODES[2]].value(), 3),
+                      fmtDouble(geo[MODES[3]].value(), 3)});
+        std::printf("%s\n", table.render().c_str());
 
-    double br = geo[CommitMode::SpeculativeBR].value() - 1.0;
-    double full = geo[CommitMode::SpeculativeFull].value() - 1.0;
-    std::printf("SpeculativeBR captures %.0f%% of the full Speculative "
-                "oracle's improvement (paper: 86%%)\n",
-                full > 0 ? 100.0 * br / full : 0.0);
+        double br = geo[CommitMode::SpeculativeBR].value() - 1.0;
+        double full = geo[CommitMode::SpeculativeFull].value() - 1.0;
+        std::printf("SpeculativeBR captures %.0f%% of the full "
+                    "Speculative oracle's improvement (paper: 86%%)\n",
+                    full > 0 ? 100.0 * br / full : 0.0);
 
-    // Commit-stall anatomy of the InO-C baseline (percent of cycles).
-    TextTable anatomy;
-    anatomy.setHeader({"benchmark", "full-width", "empty", "branch",
-                       "memory", "exec", "fence", "structural"});
-    for (size_t w = 0; w < workloads.size(); ++w) {
-        const CoreStats &s = statsOf(w, 0);
-        auto pct = [&](uint64_t v) {
-            return fmtDouble(s.cycles ? 100.0 * static_cast<double>(v) /
-                                            static_cast<double>(s.cycles)
-                                      : 0.0,
-                             1);
-        };
-        anatomy.addRow({workloads[w], pct(s.commitWidthFullCycles),
-                        pct(s.stallEmptyCycles),
-                        pct(s.stallHeadBranchCycles),
-                        pct(s.stallHeadMemCycles),
-                        pct(s.stallHeadExecCycles),
-                        pct(s.stallFenceCycles),
-                        pct(s.stallStructuralCycles)});
-    }
-    std::printf("commit-stall anatomy, InO-C (%% of cycles; rows sum "
-                "to 100)\n%s\n",
-                anatomy.render().c_str());
+        // Commit-stall anatomy of the InO-C baseline (% of cycles).
+        TextTable anatomy;
+        anatomy.setHeader({"benchmark", "full-width", "empty", "branch",
+                           "memory", "exec", "fence", "structural"});
+        for (const auto &w : workloads) {
+            const CoreStats &s = r.at(w, commitModeName(MODES[0]));
+            auto pct = [&](uint64_t v) {
+                return fmtDouble(
+                    s.cycles ? 100.0 * static_cast<double>(v) /
+                                   static_cast<double>(s.cycles)
+                             : 0.0,
+                    1);
+            };
+            anatomy.addRow({w, pct(s.commitWidthFullCycles),
+                            pct(s.stallEmptyCycles),
+                            pct(s.stallHeadBranchCycles),
+                            pct(s.stallHeadMemCycles),
+                            pct(s.stallHeadExecCycles),
+                            pct(s.stallFenceCycles),
+                            pct(s.stallStructuralCycles)});
+        }
+        std::printf("commit-stall anatomy, InO-C (%% of cycles; rows sum "
+                    "to 100)\n%s\n",
+                    anatomy.render().c_str());
+    };
 
-    maybeWriteJson("fig01_motivation", results);
-    return 0;
+    registerExperiment(std::move(spec));
 }
+
+} // namespace noreba::bench

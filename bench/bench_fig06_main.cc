@@ -6,106 +6,120 @@
  * mcf) and 95% of the SpeculativeBR upper bound.
  */
 
-#include "bench_util.h"
+#include <cstdio>
 
-using namespace noreba;
+#include "common/stats.h"
+#include "common/table.h"
+#include "experiments.h"
+
+namespace noreba::bench {
+
 using namespace noreba::benchutil;
 
-int
-main()
+namespace {
+
+/**
+ * Column configs. "Noreba (paper Tab.1)" disables the same-site
+ * instance-ordering our safety checker shows the single-BranchID
+ * marking needs; it models the paper's hardware exactly (see
+ * EXPERIMENTS.md).
+ */
+struct Column
 {
-    printHeader("Figure 6 (main result)",
-                "Speedup over InO-C on the Skylake-like core, with "
-                "DCPT prefetching");
+    const char *series;
+    CommitMode mode;
+    bool instanceOrder;
+};
 
-    TextTable table;
-    table.setHeader({"benchmark", "NonSpec-OoO-C", "Noreba",
-                     "Noreba (paper Tab.1)", "IdealReconv-OoO-C",
-                     "SpeculativeBR-OoO-C"});
+constexpr Column COLS[] = {
+    {"NonSpec-OoO-C", CommitMode::NonSpecOoO, true},
+    {"Noreba", CommitMode::Noreba, true},
+    {"Noreba (paper Tab.1)", CommitMode::Noreba, false},
+    {"IdealReconv-OoO-C", CommitMode::IdealReconv, true},
+    {"SpeculativeBR-OoO-C", CommitMode::SpeculativeBR, true},
+};
+constexpr int NCOLS = static_cast<int>(std::size(COLS));
 
-    // Column configs. "Noreba (paper Tab.1)" disables the same-site
-    // instance-ordering our safety checker shows the single-BranchID
-    // marking needs; it models the paper's hardware exactly (see
-    // EXPERIMENTS.md).
-    struct Column
-    {
-        CommitMode mode;
-        bool instanceOrder;
-    };
-    const Column cols[] = {
-        {CommitMode::NonSpecOoO, true},
-        {CommitMode::Noreba, true},
-        {CommitMode::Noreba, false},
-        {CommitMode::IdealReconv, true},
-        {CommitMode::SpeculativeBR, true},
-    };
-    constexpr int NCOLS = 5;
+} // namespace
+
+void
+registerFig06Main()
+{
+    ExperimentSpec spec;
+    spec.name = "fig06_main";
+    spec.title = "Figure 6 (main result)";
+    spec.description = "Speedup over InO-C on the Skylake-like core, "
+                       "with DCPT prefetching";
 
     // One InO baseline plus the five columns per workload, all fanned
     // out through the sweep engine.
-    const std::vector<std::string> workloads = selectedWorkloads();
-    std::vector<SweepJob> jobs;
-    for (const auto &name : workloads) {
-        CoreConfig base = skylakeConfig();
-        base.commitMode = CommitMode::InOrder;
-        jobs.push_back(job(name, base));
-        for (const Column &col : cols) {
-            CoreConfig cfg = skylakeConfig();
-            cfg.commitMode = col.mode;
-            cfg.srob.enforceInstanceOrder = col.instanceOrder;
-            jobs.push_back(job(name, cfg));
-        }
-    }
-    const std::vector<SweepResult> results = SweepRunner().run(jobs);
-
-    Geomean geo[NCOLS];
-    double maxNoreba = 0.0, maxPaper = 0.0;
-    std::string maxName, maxPaperName;
-
-    for (size_t w = 0; w < workloads.size(); ++w) {
-        const std::string &name = workloads[w];
-        const CoreStats &ino = results[w * (1 + NCOLS)].stats;
-
-        std::vector<std::string> row{name};
-        for (int c = 0; c < NCOLS; ++c) {
-            const CoreStats &s =
-                results[w * (1 + NCOLS) + 1 + static_cast<size_t>(c)].stats;
-            double sp = speedup(ino, s);
-            geo[c].sample(sp);
-            row.push_back(fmtDouble(sp, 3));
-            if (c == 1 && sp > maxNoreba) {
-                maxNoreba = sp;
-                maxName = name;
-            }
-            if (c == 2 && sp > maxPaper) {
-                maxPaper = sp;
-                maxPaperName = name;
+    spec.plan = [](ExperimentPlan &plan) {
+        for (const auto &name : selectedWorkloads()) {
+            CoreConfig base = skylakeConfig();
+            base.commitMode = CommitMode::InOrder;
+            plan.add(name, "InO-C", job(name, base));
+            for (const Column &col : COLS) {
+                CoreConfig cfg = skylakeConfig();
+                cfg.commitMode = col.mode;
+                cfg.srob.enforceInstanceOrder = col.instanceOrder;
+                plan.add(name, col.series, job(name, cfg));
             }
         }
-        table.addRow(row);
-    }
+    };
 
-    table.addRow({"geomean", fmtDouble(geo[0].value(), 3),
-                  fmtDouble(geo[1].value(), 3),
-                  fmtDouble(geo[2].value(), 3),
-                  fmtDouble(geo[3].value(), 3),
-                  fmtDouble(geo[4].value(), 3)});
-    std::printf("%s\n", table.render().c_str());
+    spec.report = [](const ExperimentResults &r) {
+        TextTable table;
+        table.setHeader({"benchmark", "NonSpec-OoO-C", "Noreba",
+                         "Noreba (paper Tab.1)", "IdealReconv-OoO-C",
+                         "SpeculativeBR-OoO-C"});
 
-    double noreba = geo[1].value();
-    double paperMode = geo[2].value();
-    double specbr = geo[4].value();
-    std::printf("Noreba geomean speedup over InO-C: %.3fx sound / "
-                "%.3fx paper-exact (paper: 1.22x)\n",
-                noreba, paperMode);
-    std::printf("Noreba max speedup: %.3fx on %s sound / %.3fx on %s "
-                "paper-exact (paper: 2.17x on mcf)\n",
-                maxNoreba, maxName.c_str(), maxPaper,
-                maxPaperName.c_str());
-    std::printf("Noreba / SpeculativeBR: %.1f%% sound / %.1f%% "
-                "paper-exact (paper: 95%%)\n",
-                specbr > 0 ? 100.0 * noreba / specbr : 0.0,
-                specbr > 0 ? 100.0 * paperMode / specbr : 0.0);
-    maybeWriteJson("fig06_main", results);
-    return 0;
+        Geomean geo[NCOLS];
+        double maxNoreba = 0.0, maxPaper = 0.0;
+        std::string maxName, maxPaperName;
+
+        for (const auto &name : selectedWorkloads()) {
+            const CoreStats &ino = r.at(name, "InO-C");
+            std::vector<std::string> row{name};
+            for (int c = 0; c < NCOLS; ++c) {
+                double sp = speedup(ino, r.at(name, COLS[c].series));
+                geo[c].sample(sp);
+                row.push_back(fmtDouble(sp, 3));
+                if (c == 1 && sp > maxNoreba) {
+                    maxNoreba = sp;
+                    maxName = name;
+                }
+                if (c == 2 && sp > maxPaper) {
+                    maxPaper = sp;
+                    maxPaperName = name;
+                }
+            }
+            table.addRow(row);
+        }
+
+        table.addRow({"geomean", fmtDouble(geo[0].value(), 3),
+                      fmtDouble(geo[1].value(), 3),
+                      fmtDouble(geo[2].value(), 3),
+                      fmtDouble(geo[3].value(), 3),
+                      fmtDouble(geo[4].value(), 3)});
+        std::printf("%s\n", table.render().c_str());
+
+        double noreba = geo[1].value();
+        double paperMode = geo[2].value();
+        double specbr = geo[4].value();
+        std::printf("Noreba geomean speedup over InO-C: %.3fx sound / "
+                    "%.3fx paper-exact (paper: 1.22x)\n",
+                    noreba, paperMode);
+        std::printf("Noreba max speedup: %.3fx on %s sound / %.3fx on "
+                    "%s paper-exact (paper: 2.17x on mcf)\n",
+                    maxNoreba, maxName.c_str(), maxPaper,
+                    maxPaperName.c_str());
+        std::printf("Noreba / SpeculativeBR: %.1f%% sound / %.1f%% "
+                    "paper-exact (paper: 95%%)\n",
+                    specbr > 0 ? 100.0 * noreba / specbr : 0.0,
+                    specbr > 0 ? 100.0 * paperMode / specbr : 0.0);
+    };
+
+    registerExperiment(std::move(spec));
 }
+
+} // namespace noreba::bench

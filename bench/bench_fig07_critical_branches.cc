@@ -9,23 +9,22 @@
  */
 
 #include <cmath>
+#include <cstdio>
 
-#include "bench_util.h"
+#include "common/table.h"
+#include "experiments.h"
 
-using namespace noreba;
+namespace noreba::bench {
+
 using namespace noreba::benchutil;
 
 namespace {
 
-void
-report(const char *name)
-{
-    const auto bundle = bundleFor(name);
-    CoreConfig cfg = skylakeConfig();
-    cfg.commitMode = CommitMode::InOrder;
-    cfg.attributeStalls = true;
-    CoreStats s = simulate(cfg, *bundle);
+constexpr const char *WORKLOADS[] = {"mcf", "bzip2"};
 
+void
+reportWorkload(const char *name, const CoreStats &s)
+{
     std::printf("%s: per-static-branch scatter "
                 "(log10(dependents), log10(stall cycles))\n",
                 name);
@@ -63,15 +62,32 @@ report(const char *name)
 
 } // namespace
 
-int
-main()
+void
+registerFig07CriticalBranches()
 {
-    printHeader("Figure 7 (critical branches)",
-                "Stall cycles vs dependent-instruction counts for the "
-                "best case (mcf) and worst case (bzip2)");
-    report("mcf");
-    report("bzip2");
-    std::printf("Expected shape: mcf branches stall longer per "
-                "dependent instruction than bzip2 branches\n");
-    return 0;
+    ExperimentSpec spec;
+    spec.name = "fig07_critical_branches";
+    spec.title = "Figure 7 (critical branches)";
+    spec.description = "Stall cycles vs dependent-instruction counts "
+                       "for the best case (mcf) and worst case (bzip2)";
+
+    spec.plan = [](ExperimentPlan &plan) {
+        for (const char *name : WORKLOADS) {
+            CoreConfig cfg = skylakeConfig();
+            cfg.commitMode = CommitMode::InOrder;
+            cfg.attributeStalls = true;
+            plan.add(name, "InO-C", job(name, cfg));
+        }
+    };
+
+    spec.report = [](const ExperimentResults &r) {
+        for (const char *name : WORKLOADS)
+            reportWorkload(name, r.at(name, "InO-C"));
+        std::printf("Expected shape: mcf branches stall longer per "
+                    "dependent instruction than bzip2 branches\n");
+    };
+
+    registerExperiment(std::move(spec));
 }
+
+} // namespace noreba::bench

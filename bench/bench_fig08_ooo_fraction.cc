@@ -6,36 +6,54 @@
  * best cases (CRC, mcf) commit more than 20%.
  */
 
-#include "bench_util.h"
+#include <cstdio>
 
-using namespace noreba;
+#include "common/table.h"
+#include "experiments.h"
+
+namespace noreba::bench {
+
 using namespace noreba::benchutil;
 
-int
-main()
+void
+registerFig08OooFraction()
 {
-    printHeader("Figure 8 (OoO-committed instructions)",
-                "Dynamic instructions committed out of order under "
-                "Noreba, Skylake-like core");
+    ExperimentSpec spec;
+    spec.name = "fig08_ooo_fraction";
+    spec.title = "Figure 8 (OoO-committed instructions)";
+    spec.description = "Dynamic instructions committed out of order "
+                       "under Noreba, Skylake-like core";
 
-    TextTable table;
-    table.setHeader({"benchmark", "committed",
-                     "past unresolved branch", "past in-order frontier"});
-    for (const auto &name : selectedWorkloads()) {
-        const auto bundle = bundleFor(name);
-        CoreConfig cfg = skylakeConfig();
-        cfg.commitMode = CommitMode::Noreba;
-        CoreStats s = simulate(cfg, *bundle);
-        table.addRow({name, std::to_string(s.committedInsts),
-                      fmtPercent(s.oooCommitFraction()),
-                      fmtPercent(s.aheadCommitFraction())});
-    }
-    std::printf("%s\n", table.render().c_str());
-    std::printf("Expected shape: bzip2/dijkstra near zero; CRC32 and "
-                "mcf above 20%% (paper). Our commit stage reclaims\n"
-                "resources before completion (footnote-1 C1 "
-                "relaxation), so both fractions run higher than the\n"
-                "paper's; the winners/losers split is the reproduced "
-                "shape.\n");
-    return 0;
+    spec.plan = [](ExperimentPlan &plan) {
+        for (const auto &name : selectedWorkloads()) {
+            CoreConfig cfg = skylakeConfig();
+            cfg.commitMode = CommitMode::Noreba;
+            plan.add(name, "Noreba", job(name, cfg));
+        }
+    };
+
+    spec.report = [](const ExperimentResults &r) {
+        TextTable table;
+        table.setHeader({"benchmark", "committed",
+                         "past unresolved branch",
+                         "past in-order frontier"});
+        for (const auto &name : selectedWorkloads()) {
+            const CoreStats &s = r.at(name, "Noreba");
+            table.addRow({name, std::to_string(s.committedInsts),
+                          fmtPercent(s.oooCommitFraction()),
+                          fmtPercent(s.aheadCommitFraction())});
+        }
+        std::printf("%s\n", table.render().c_str());
+        std::printf(
+            "Expected shape: bzip2/dijkstra near zero; CRC32 and "
+            "mcf above 20%% (paper). Our commit stage reclaims\n"
+            "resources before completion (footnote-1 C1 "
+            "relaxation), so both fractions run higher than the\n"
+            "paper's; the winners/losers split is the reproduced "
+            "shape.\n");
+    };
+
+    registerExperiment(std::move(spec));
 }
+
+} // namespace noreba::bench

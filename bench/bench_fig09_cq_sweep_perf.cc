@@ -10,12 +10,22 @@
  * sweep tractable; override with NOREBA_WORKLOADS to run more.
  */
 
-#include "bench_util.h"
+#include <cstdio>
+#include <cstdlib>
 
-using namespace noreba;
+#include "common/stats.h"
+#include "common/table.h"
+#include "experiments.h"
+
+namespace noreba::bench {
+
 using namespace noreba::benchutil;
 
 namespace {
+
+constexpr int ROB_SIZES[] = {224, 128};
+constexpr int NUM_CQS[] = {1, 2, 4};
+constexpr int ENTRIES[] = {4, 8, 16, 32};
 
 std::vector<std::string>
 sweepWorkloads()
@@ -25,78 +35,90 @@ sweepWorkloads()
     return {"mcf", "CRC32", "libquantum", "omnetpp", "bzip2", "astar"};
 }
 
+std::string
+idealSeries(int rob)
+{
+    return "rob" + std::to_string(rob) + "/ideal";
+}
+
+std::string
+pointSeries(int rob, int nq, int ent)
+{
+    return "rob" + std::to_string(rob) + "/cq" + std::to_string(nq) +
+           "x" + std::to_string(ent);
+}
+
 } // namespace
 
-int
-main()
+void
+registerFig09CqSweepPerf()
 {
-    printHeader("Figure 9 (Selective ROB sizing)",
-                "Geomean performance vs Ideal Reconvergence-OoO-C of "
-                "the same ROB' size");
+    ExperimentSpec spec;
+    spec.name = "fig09_cq_sweep_perf";
+    spec.title = "Figure 9 (Selective ROB sizing)";
+    spec.description = "Geomean performance vs Ideal "
+                       "Reconvergence-OoO-C of the same ROB' size";
 
-    const int robSizes[] = {224, 128};
-    const int numCqs[] = {1, 2, 4};
-    const int entries[] = {4, 8, 16, 32};
-    const std::vector<std::string> workloads = sweepWorkloads();
-
-    // Whole sweep as one job list: per ROB size, the ideal baseline
-    // for every workload followed by every (numCqs x entries x
-    // workload) Selective ROB point.
-    std::vector<SweepJob> jobs;
-    for (int rob : robSizes) {
-        for (const auto &name : workloads) {
-            CoreConfig cfg = skylakeConfig();
-            cfg.robEntries = rob;
-            cfg.commitMode = CommitMode::IdealReconv;
-            jobs.push_back(job(name, cfg));
-        }
-        for (int nq : numCqs) {
-            for (int ent : entries) {
-                for (const auto &name : workloads) {
-                    CoreConfig cfg = skylakeConfig();
-                    cfg.robEntries = rob;
-                    cfg.commitMode = CommitMode::Noreba;
-                    cfg.srob.numBrCqs = nq;
-                    cfg.srob.brCqEntries = ent;
-                    cfg.srob.prCqEntries = ent;
-                    jobs.push_back(job(name, cfg));
+    // Whole sweep as one plan: per ROB size, the ideal baseline for
+    // every workload followed by every (numCqs x entries x workload)
+    // Selective ROB point.
+    spec.plan = [](ExperimentPlan &plan) {
+        const std::vector<std::string> workloads = sweepWorkloads();
+        for (int rob : ROB_SIZES) {
+            for (const auto &name : workloads) {
+                CoreConfig cfg = skylakeConfig();
+                cfg.robEntries = rob;
+                cfg.commitMode = CommitMode::IdealReconv;
+                plan.add(name, idealSeries(rob), job(name, cfg));
+            }
+            for (int nq : NUM_CQS) {
+                for (int ent : ENTRIES) {
+                    for (const auto &name : workloads) {
+                        CoreConfig cfg = skylakeConfig();
+                        cfg.robEntries = rob;
+                        cfg.commitMode = CommitMode::Noreba;
+                        cfg.srob.numBrCqs = nq;
+                        cfg.srob.brCqEntries = ent;
+                        cfg.srob.prCqEntries = ent;
+                        plan.add(name, pointSeries(rob, nq, ent),
+                                 job(name, cfg));
+                    }
                 }
             }
         }
-    }
-    const std::vector<SweepResult> results = SweepRunner().run(jobs);
+    };
 
-    size_t next = 0;
-    for (int rob : robSizes) {
-        std::printf("ROB' = %d entries\n", rob);
-        TextTable table;
-        table.setHeader({"config", "4-entry CQs", "8-entry CQs",
-                         "16-entry CQs", "32-entry CQs"});
-
-        std::vector<double> idealCycles;
-        for (size_t w = 0; w < workloads.size(); ++w)
-            idealCycles.push_back(
-                static_cast<double>(results[next++].stats.cycles));
-
-        for (int nq : numCqs) {
-            std::vector<std::string> row{
-                std::to_string(nq) + " BR-CQ" + (nq > 1 ? "s" : "")};
-            for (int ent : entries) {
-                (void)ent;
-                Geomean geo;
-                for (size_t w = 0; w < workloads.size(); ++w) {
-                    const CoreStats &s = results[next++].stats;
-                    geo.sample(idealCycles[w] /
-                               static_cast<double>(s.cycles));
+    spec.report = [](const ExperimentResults &r) {
+        const std::vector<std::string> workloads = sweepWorkloads();
+        for (int rob : ROB_SIZES) {
+            std::printf("ROB' = %d entries\n", rob);
+            TextTable table;
+            table.setHeader({"config", "4-entry CQs", "8-entry CQs",
+                             "16-entry CQs", "32-entry CQs"});
+            for (int nq : NUM_CQS) {
+                std::vector<std::string> row{
+                    std::to_string(nq) + " BR-CQ" + (nq > 1 ? "s" : "")};
+                for (int ent : ENTRIES) {
+                    Geomean geo;
+                    for (const auto &name : workloads) {
+                        const CoreStats &ideal =
+                            r.at(name, idealSeries(rob));
+                        const CoreStats &s =
+                            r.at(name, pointSeries(rob, nq, ent));
+                        geo.sample(static_cast<double>(ideal.cycles) /
+                                   static_cast<double>(s.cycles));
+                    }
+                    row.push_back(fmtDouble(geo.value(), 3));
                 }
-                row.push_back(fmtDouble(geo.value(), 3));
+                table.addRow(row);
             }
-            table.addRow(row);
+            std::printf("%s\n", table.render().c_str());
         }
-        std::printf("%s\n", table.render().c_str());
-    }
-    std::printf("Expected shape: saturation around 2 BR-CQs x 8 "
-                "entries (paper: 99%% of ideal at 2x8)\n");
-    maybeWriteJson("fig09_cq_sweep_perf", results);
-    return 0;
+        std::printf("Expected shape: saturation around 2 BR-CQs x 8 "
+                    "entries (paper: 99%% of ideal at 2x8)\n");
+    };
+
+    registerExperiment(std::move(spec));
 }
+
+} // namespace noreba::bench

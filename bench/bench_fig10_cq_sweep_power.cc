@@ -7,12 +7,22 @@
  * beyond what performance needs.
  */
 
-#include "bench_util.h"
+#include <cstdio>
+#include <cstdlib>
 
-using namespace noreba;
+#include "common/stats.h"
+#include "common/table.h"
+#include "experiments.h"
+#include "power/power_model.h"
+
+namespace noreba::bench {
+
 using namespace noreba::benchutil;
 
 namespace {
+
+constexpr int NUM_CQS[] = {1, 2, 4, 8};
+constexpr int ENTRIES[] = {4, 8, 16, 32, 64};
 
 std::vector<std::string>
 sweepWorkloads()
@@ -22,48 +32,75 @@ sweepWorkloads()
     return {"mcf", "CRC32", "libquantum", "omnetpp", "bzip2", "astar"};
 }
 
-double
-avgPower(int nq, int ent)
+CoreConfig
+pointConfig(int nq, int ent)
 {
-    Geomean geo;
-    for (const auto &name : sweepWorkloads()) {
-        CoreConfig cfg = skylakeConfig();
-        cfg.commitMode = CommitMode::Noreba;
-        cfg.srob.numBrCqs = nq;
-        cfg.srob.brCqEntries = ent;
-        cfg.srob.prCqEntries = ent;
-        CoreStats s = simulate(cfg, *benchutil::bundleFor(name));
-        geo.sample(computePower(cfg, s).totalWatts());
-    }
-    return geo.value();
+    CoreConfig cfg = skylakeConfig();
+    cfg.commitMode = CommitMode::Noreba;
+    cfg.srob.numBrCqs = nq;
+    cfg.srob.brCqEntries = ent;
+    cfg.srob.prCqEntries = ent;
+    return cfg;
+}
+
+std::string
+pointSeries(int nq, int ent)
+{
+    return "cq" + std::to_string(nq) + "x" + std::to_string(ent);
 }
 
 } // namespace
 
-int
-main()
+void
+registerFig10CqSweepPower()
 {
-    printHeader("Figure 10 (Selective ROB power)",
-                "Total power of Selective ROB configurations, "
-                "normalized to the minimum (1 BR-CQ x 4 entries)");
+    ExperimentSpec spec;
+    spec.name = "fig10_cq_sweep_power";
+    spec.title = "Figure 10 (Selective ROB power)";
+    spec.description = "Total power of Selective ROB configurations, "
+                       "normalized to the minimum (1 BR-CQ x 4 entries)";
 
-    const int numCqs[] = {1, 2, 4, 8};
-    const int entries[] = {4, 8, 16, 32, 64};
+    // The old standalone bench simulated the (1, 4) minimum twice —
+    // once for the normalizer, once for its table cell. Each point is
+    // planned once here; the reducer reads the (1, 4) handles for both.
+    spec.plan = [](ExperimentPlan &plan) {
+        for (int nq : NUM_CQS)
+            for (int ent : ENTRIES)
+                for (const auto &name : sweepWorkloads())
+                    plan.add(name, pointSeries(nq, ent),
+                             job(name, pointConfig(nq, ent)));
+    };
 
-    double minPower = avgPower(1, 4);
+    spec.report = [](const ExperimentResults &r) {
+        auto avgPower = [&](int nq, int ent) {
+            Geomean geo;
+            const CoreConfig cfg = pointConfig(nq, ent);
+            for (const auto &name : sweepWorkloads())
+                geo.sample(
+                    computePower(cfg, r.at(name, pointSeries(nq, ent)))
+                        .totalWatts());
+            return geo.value();
+        };
 
-    TextTable table;
-    table.setHeader({"config", "4-entry", "8-entry", "16-entry",
-                     "32-entry", "64-entry"});
-    for (int nq : numCqs) {
-        std::vector<std::string> row{
-            std::to_string(nq) + " BR-CQ" + (nq > 1 ? "s" : "")};
-        for (int ent : entries)
-            row.push_back(fmtDouble(avgPower(nq, ent) / minPower, 3));
-        table.addRow(row);
-    }
-    std::printf("%s\n", table.render().c_str());
-    std::printf("Expected shape: near-flat for useful sizes (2x8), "
-                "superlinear growth only for very large queue groups\n");
-    return 0;
+        double minPower = avgPower(1, 4);
+        TextTable table;
+        table.setHeader({"config", "4-entry", "8-entry", "16-entry",
+                         "32-entry", "64-entry"});
+        for (int nq : NUM_CQS) {
+            std::vector<std::string> row{
+                std::to_string(nq) + " BR-CQ" + (nq > 1 ? "s" : "")};
+            for (int ent : ENTRIES)
+                row.push_back(
+                    fmtDouble(avgPower(nq, ent) / minPower, 3));
+            table.addRow(row);
+        }
+        std::printf("%s\n", table.render().c_str());
+        std::printf("Expected shape: near-flat for useful sizes (2x8), "
+                    "superlinear growth only for very large queue "
+                    "groups\n");
+    };
+
+    registerExperiment(std::move(spec));
 }
+
+} // namespace noreba::bench

@@ -5,65 +5,83 @@
  * improvement scales with larger cores, just like in-order commit.
  */
 
-#include "bench_util.h"
+#include <cstdio>
 
-using namespace noreba;
+#include "common/stats.h"
+#include "common/table.h"
+#include "experiments.h"
+
+namespace noreba::bench {
+
 using namespace noreba::benchutil;
 
-int
-main()
+namespace {
+
+constexpr const char *CORES[] = {"NHM", "HSW", "SKL"};
+
+std::string
+series(const char *core, const char *mode)
 {
-    printHeader("Figure 12 (core sizes)",
-                "Geomean speedup of Noreba over InO-C per core design, "
-                "plus absolute IPC scaling (normalized to NHM InO-C)");
+    return std::string(core) + "/" + mode;
+}
 
-    TextTable table;
-    table.setHeader({"core", "InO-C vs NHM InO-C",
-                     "Noreba vs NHM InO-C", "Noreba vs own InO-C"});
+} // namespace
 
-    const std::vector<std::string> workloads = selectedWorkloads();
-    const char *cores[] = {"NHM", "HSW", "SKL"};
+void
+registerFig12CoreSizes()
+{
+    ExperimentSpec spec;
+    spec.name = "fig12_core_sizes";
+    spec.title = "Figure 12 (core sizes)";
+    spec.description = "Geomean speedup of Noreba over InO-C per core "
+                       "design, plus absolute IPC scaling (normalized "
+                       "to NHM InO-C)";
 
     // Per (core, workload): an InO-C and a Noreba job. The NHM InO-C
     // runs double as the cross-core baseline.
-    std::vector<SweepJob> jobs;
-    for (const char *core : cores) {
-        for (const auto &name : workloads) {
-            CoreConfig ino = configByName(core);
-            ino.commitMode = CommitMode::InOrder;
-            jobs.push_back(job(name, ino));
+    spec.plan = [](ExperimentPlan &plan) {
+        for (const char *core : CORES) {
+            for (const auto &name : selectedWorkloads()) {
+                CoreConfig ino = configByName(core);
+                ino.commitMode = CommitMode::InOrder;
+                plan.add(name, series(core, "InO-C"), job(name, ino));
 
-            CoreConfig nor = configByName(core);
-            nor.commitMode = CommitMode::Noreba;
-            jobs.push_back(job(name, nor));
+                CoreConfig nor = configByName(core);
+                nor.commitMode = CommitMode::Noreba;
+                plan.add(name, series(core, "Noreba"), job(name, nor));
+            }
         }
-    }
-    const std::vector<SweepResult> results = SweepRunner().run(jobs);
+    };
 
-    const size_t perCore = workloads.size() * 2;
-    for (size_t c = 0; c < 3; ++c) {
-        Geomean inoGeo, norebaGeo, ratioGeo;
-        for (size_t w = 0; w < workloads.size(); ++w) {
-            // NHM is the first core block, so its InO-C runs live at
-            // the sweep's front regardless of which core we report.
-            const CoreStats &nhm = results[w * 2].stats;
-            const CoreStats &sIno = results[c * perCore + w * 2].stats;
-            const CoreStats &sNor =
-                results[c * perCore + w * 2 + 1].stats;
+    spec.report = [](const ExperimentResults &r) {
+        TextTable table;
+        table.setHeader({"core", "InO-C vs NHM InO-C",
+                         "Noreba vs NHM InO-C", "Noreba vs own InO-C"});
+        for (const char *core : CORES) {
+            Geomean inoGeo, norebaGeo, ratioGeo;
+            for (const auto &name : selectedWorkloads()) {
+                const CoreStats &nhm = r.at(name, "NHM/InO-C");
+                const CoreStats &sIno = r.at(name, series(core, "InO-C"));
+                const CoreStats &sNor =
+                    r.at(name, series(core, "Noreba"));
 
-            double nhmCycles = static_cast<double>(nhm.cycles);
-            inoGeo.sample(nhmCycles / static_cast<double>(sIno.cycles));
-            norebaGeo.sample(nhmCycles /
-                             static_cast<double>(sNor.cycles));
-            ratioGeo.sample(speedup(sIno, sNor));
+                double nhmCycles = static_cast<double>(nhm.cycles);
+                inoGeo.sample(nhmCycles /
+                              static_cast<double>(sIno.cycles));
+                norebaGeo.sample(nhmCycles /
+                                 static_cast<double>(sNor.cycles));
+                ratioGeo.sample(speedup(sIno, sNor));
+            }
+            table.addRow({core, fmtDouble(inoGeo.value(), 3),
+                          fmtDouble(norebaGeo.value(), 3),
+                          fmtDouble(ratioGeo.value(), 3)});
         }
-        table.addRow({cores[c], fmtDouble(inoGeo.value(), 3),
-                      fmtDouble(norebaGeo.value(), 3),
-                      fmtDouble(ratioGeo.value(), 3)});
-    }
-    std::printf("%s\n", table.render().c_str());
-    std::printf("Expected shape: both columns grow with core size; "
-                "Noreba keeps its edge on every core\n");
-    maybeWriteJson("fig12_core_sizes", results);
-    return 0;
+        std::printf("%s\n", table.render().c_str());
+        std::printf("Expected shape: both columns grow with core size; "
+                    "Noreba keeps its edge on every core\n");
+    };
+
+    registerExperiment(std::move(spec));
 }
+
+} // namespace noreba::bench

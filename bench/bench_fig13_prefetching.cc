@@ -6,51 +6,83 @@
  * commit and prefetching compound.
  */
 
-#include "bench_util.h"
+#include <cstdio>
 
-using namespace noreba;
+#include "common/stats.h"
+#include "common/table.h"
+#include "experiments.h"
+
+namespace noreba::bench {
+
 using namespace noreba::benchutil;
 
-int
-main()
+namespace {
+
+struct Column
 {
-    printHeader("Figure 13 (prefetching)",
-                "InO-C / Noreba with and without DCPT on the "
-                "Nehalem-like core, normalized to InO-C + prefetch");
+    const char *series;
+    CommitMode mode;
+    bool prefetcher;
+};
 
-    TextTable table;
-    table.setHeader({"benchmark", "InO-C no-pf", "Noreba no-pf",
-                     "InO-C + pf", "Noreba + pf"});
-    Geomean geo[4];
+/** Column order matches the figure; "InO-C/pf" doubles as the
+ *  normalizer (the old standalone bench simulated it twice). */
+constexpr Column COLS[] = {
+    {"InO-C/no-pf", CommitMode::InOrder, false},
+    {"Noreba/no-pf", CommitMode::Noreba, false},
+    {"InO-C/pf", CommitMode::InOrder, true},
+    {"Noreba/pf", CommitMode::Noreba, true},
+};
 
-    for (const auto &name : selectedWorkloads()) {
-        const auto bundle = bundleFor(name);
-        CoreConfig base = nehalemConfig();
-        base.commitMode = CommitMode::InOrder;
-        base.prefetcher = true;
-        CoreStats ref = simulate(base, *bundle);
+} // namespace
 
-        std::vector<std::string> row{name};
-        int i = 0;
-        for (bool pf : {false, true}) {
-            for (CommitMode mode :
-                 {CommitMode::InOrder, CommitMode::Noreba}) {
+void
+registerFig13Prefetching()
+{
+    ExperimentSpec spec;
+    spec.name = "fig13_prefetching";
+    spec.title = "Figure 13 (prefetching)";
+    spec.description = "InO-C / Noreba with and without DCPT on the "
+                       "Nehalem-like core, normalized to InO-C + "
+                       "prefetch";
+
+    spec.plan = [](ExperimentPlan &plan) {
+        for (const auto &name : selectedWorkloads()) {
+            for (const Column &col : COLS) {
                 CoreConfig cfg = nehalemConfig();
-                cfg.commitMode = mode;
-                cfg.prefetcher = pf;
-                double sp = speedup(ref, simulate(cfg, *bundle));
-                geo[i++].sample(sp);
-                row.push_back(fmtDouble(sp, 3));
+                cfg.commitMode = col.mode;
+                cfg.prefetcher = col.prefetcher;
+                plan.add(name, col.series, job(name, cfg));
             }
         }
-        table.addRow(row);
-    }
-    table.addRow({"geomean", fmtDouble(geo[0].value(), 3),
-                  fmtDouble(geo[1].value(), 3),
-                  fmtDouble(geo[2].value(), 3),
-                  fmtDouble(geo[3].value(), 3)});
-    std::printf("%s\n", table.render().c_str());
-    std::printf("Expected shape: Noreba+prefetch > InO-C+prefetch > "
-                "Noreba-alone > InO-C-alone (geomean)\n");
-    return 0;
+    };
+
+    spec.report = [](const ExperimentResults &r) {
+        TextTable table;
+        table.setHeader({"benchmark", "InO-C no-pf", "Noreba no-pf",
+                         "InO-C + pf", "Noreba + pf"});
+        Geomean geo[std::size(COLS)];
+
+        for (const auto &name : selectedWorkloads()) {
+            const CoreStats &ref = r.at(name, "InO-C/pf");
+            std::vector<std::string> row{name};
+            for (size_t c = 0; c < std::size(COLS); ++c) {
+                double sp = speedup(ref, r.at(name, COLS[c].series));
+                geo[c].sample(sp);
+                row.push_back(fmtDouble(sp, 3));
+            }
+            table.addRow(row);
+        }
+        table.addRow({"geomean", fmtDouble(geo[0].value(), 3),
+                      fmtDouble(geo[1].value(), 3),
+                      fmtDouble(geo[2].value(), 3),
+                      fmtDouble(geo[3].value(), 3)});
+        std::printf("%s\n", table.render().c_str());
+        std::printf("Expected shape: Noreba+prefetch > InO-C+prefetch "
+                    "> Noreba-alone > InO-C-alone (geomean)\n");
+    };
+
+    registerExperiment(std::move(spec));
 }
+
+} // namespace noreba::bench

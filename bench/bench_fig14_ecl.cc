@@ -12,49 +12,81 @@
  * effect in isolation.
  */
 
-#include "bench_util.h"
+#include <cstdio>
 
-using namespace noreba;
+#include "common/stats.h"
+#include "common/table.h"
+#include "experiments.h"
+
+namespace noreba::bench {
+
 using namespace noreba::benchutil;
 
-int
-main()
+namespace {
+
+struct Column
 {
-    printHeader("Figure 14 (early commit of loads)",
-                "ECL on the in-order core and on Noreba, Skylake-like "
-                "core, normalized to plain InO-C");
+    const char *series;
+    CommitMode mode;
+    bool ecl;
+};
 
-    TextTable table;
-    table.setHeader({"benchmark", "InO-C", "InO-C + ECL", "Noreba",
-                     "Noreba + ECL"});
-    Geomean geo[3];
+constexpr Column COLS[] = {
+    {"InO-C/ECL", CommitMode::InOrder, true},
+    {"Noreba", CommitMode::Noreba, false},
+    {"Noreba/ECL", CommitMode::Noreba, true},
+};
 
-    for (const auto &name : selectedWorkloads()) {
-        const auto bundle = bundleFor(name);
-        CoreConfig base = skylakeConfig();
-        base.commitMode = CommitMode::InOrder;
-        CoreStats ino = simulate(base, *bundle);
+} // namespace
 
-        std::vector<std::string> row{name, "1.000"};
-        int i = 0;
-        for (auto [mode, ecl] :
-             {std::pair{CommitMode::InOrder, true},
-              std::pair{CommitMode::Noreba, false},
-              std::pair{CommitMode::Noreba, true}}) {
-            CoreConfig cfg = skylakeConfig();
-            cfg.commitMode = mode;
-            cfg.earlyCommitLoads = ecl;
-            double sp = speedup(ino, simulate(cfg, *bundle));
-            geo[i++].sample(sp);
-            row.push_back(fmtDouble(sp, 3));
+void
+registerFig14Ecl()
+{
+    ExperimentSpec spec;
+    spec.name = "fig14_ecl";
+    spec.title = "Figure 14 (early commit of loads)";
+    spec.description = "ECL on the in-order core and on Noreba, "
+                       "Skylake-like core, normalized to plain InO-C";
+
+    spec.plan = [](ExperimentPlan &plan) {
+        for (const auto &name : selectedWorkloads()) {
+            CoreConfig base = skylakeConfig();
+            base.commitMode = CommitMode::InOrder;
+            plan.add(name, "InO-C", job(name, base));
+            for (const Column &col : COLS) {
+                CoreConfig cfg = skylakeConfig();
+                cfg.commitMode = col.mode;
+                cfg.earlyCommitLoads = col.ecl;
+                plan.add(name, col.series, job(name, cfg));
+            }
         }
-        table.addRow(row);
-    }
-    table.addRow({"geomean", "1.000", fmtDouble(geo[0].value(), 3),
-                  fmtDouble(geo[1].value(), 3),
-                  fmtDouble(geo[2].value(), 3)});
-    std::printf("%s\n", table.render().c_str());
-    std::printf("Expected shape: InO-C+ECL modestly above InO-C; "
-                "Noreba well above both (ECL subsumed)\n");
-    return 0;
+    };
+
+    spec.report = [](const ExperimentResults &r) {
+        TextTable table;
+        table.setHeader({"benchmark", "InO-C", "InO-C + ECL", "Noreba",
+                         "Noreba + ECL"});
+        Geomean geo[std::size(COLS)];
+
+        for (const auto &name : selectedWorkloads()) {
+            const CoreStats &ino = r.at(name, "InO-C");
+            std::vector<std::string> row{name, "1.000"};
+            for (size_t c = 0; c < std::size(COLS); ++c) {
+                double sp = speedup(ino, r.at(name, COLS[c].series));
+                geo[c].sample(sp);
+                row.push_back(fmtDouble(sp, 3));
+            }
+            table.addRow(row);
+        }
+        table.addRow({"geomean", "1.000", fmtDouble(geo[0].value(), 3),
+                      fmtDouble(geo[1].value(), 3),
+                      fmtDouble(geo[2].value(), 3)});
+        std::printf("%s\n", table.render().c_str());
+        std::printf("Expected shape: InO-C+ECL modestly above InO-C; "
+                    "Noreba well above both (ECL subsumed)\n");
+    };
+
+    registerExperiment(std::move(spec));
 }
+
+} // namespace noreba::bench

@@ -7,55 +7,67 @@
  * not wider.
  */
 
-#include "bench_util.h"
+#include <cstdio>
 
-using namespace noreba;
+#include "common/stats.h"
+#include "common/table.h"
+#include "experiments.h"
+
+namespace noreba::bench {
+
 using namespace noreba::benchutil;
 
-int
-main()
+void
+registerFig15CommitWidth()
 {
-    printHeader("Figure 15 (commit bandwidth)",
-                "InO-C (width 4), InO-C++ (width 8) and Noreba "
-                "(width 4), normalized to InO-C, Skylake-like core");
+    ExperimentSpec spec;
+    spec.name = "fig15_commit_width";
+    spec.title = "Figure 15 (commit bandwidth)";
+    spec.description = "InO-C (width 4), InO-C++ (width 8) and Noreba "
+                       "(width 4), normalized to InO-C, Skylake-like "
+                       "core";
 
-    TextTable table;
-    table.setHeader({"benchmark", "InO-C++ (width 8)",
-                     "Noreba (width 4)"});
-    Geomean geoWide, geoNoreba;
+    spec.plan = [](ExperimentPlan &plan) {
+        for (const auto &name : selectedWorkloads()) {
+            CoreConfig base = skylakeConfig();
+            base.commitMode = CommitMode::InOrder;
+            plan.add(name, "InO-C", job(name, base));
 
-    const std::vector<std::string> workloads = selectedWorkloads();
-    std::vector<SweepJob> jobs;
-    for (const auto &name : workloads) {
-        CoreConfig base = skylakeConfig();
-        base.commitMode = CommitMode::InOrder;
-        jobs.push_back(job(name, base));
+            CoreConfig wide = skylakeConfig();
+            wide.commitMode = CommitMode::InOrder;
+            wide.commitWidth = 8;
+            plan.add(name, "InO-C++", job(name, wide));
 
-        CoreConfig wide = skylakeConfig();
-        wide.commitMode = CommitMode::InOrder;
-        wide.commitWidth = 8;
-        jobs.push_back(job(name, wide));
+            CoreConfig nor = skylakeConfig();
+            nor.commitMode = CommitMode::Noreba;
+            plan.add(name, "Noreba", job(name, nor));
+        }
+    };
 
-        CoreConfig nor = skylakeConfig();
-        nor.commitMode = CommitMode::Noreba;
-        jobs.push_back(job(name, nor));
-    }
-    const std::vector<SweepResult> results = SweepRunner().run(jobs);
+    spec.report = [](const ExperimentResults &r) {
+        TextTable table;
+        table.setHeader({"benchmark", "InO-C++ (width 8)",
+                         "Noreba (width 4)"});
+        Geomean geoWide, geoNoreba;
 
-    for (size_t w = 0; w < workloads.size(); ++w) {
-        const CoreStats &ino = results[w * 3].stats;
-        double spWide = speedup(ino, results[w * 3 + 1].stats);
-        double spNor = speedup(ino, results[w * 3 + 2].stats);
-        geoWide.sample(spWide);
-        geoNoreba.sample(spNor);
-        table.addRow({workloads[w], fmtDouble(spWide, 3),
-                      fmtDouble(spNor, 3)});
-    }
-    table.addRow({"geomean", fmtDouble(geoWide.value(), 3),
-                  fmtDouble(geoNoreba.value(), 3)});
-    std::printf("%s\n", table.render().c_str());
-    std::printf("Expected shape: doubling commit width barely moves "
-                "InO-C, while Noreba gains at the same width\n");
-    maybeWriteJson("fig15_commit_width", results);
-    return 0;
+        for (const auto &name : selectedWorkloads()) {
+            const CoreStats &ino = r.at(name, "InO-C");
+            double spWide = speedup(ino, r.at(name, "InO-C++"));
+            double spNor = speedup(ino, r.at(name, "Noreba"));
+            geoWide.sample(spWide);
+            geoNoreba.sample(spNor);
+            table.addRow(
+                {name, fmtDouble(spWide, 3), fmtDouble(spNor, 3)});
+        }
+        table.addRow({"geomean", fmtDouble(geoWide.value(), 3),
+                      fmtDouble(geoNoreba.value(), 3)});
+        std::printf("%s\n", table.render().c_str());
+        std::printf("Expected shape: doubling commit width barely "
+                    "moves InO-C, while Noreba gains at the same "
+                    "width\n");
+    };
+
+    registerExperiment(std::move(spec));
 }
+
+} // namespace noreba::bench

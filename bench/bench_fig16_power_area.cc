@@ -7,78 +7,110 @@
  * (CQT/BIT/DCT, CIT) account for the additions.
  */
 
-#include "bench_util.h"
+#include <cstdio>
+#include <map>
 
-using namespace noreba;
+#include "common/table.h"
+#include "experiments.h"
+#include "power/power_model.h"
+
+namespace noreba::bench {
+
 using namespace noreba::benchutil;
 
-int
-main()
+void
+registerFig16PowerArea()
 {
-    printHeader("Figure 16 (power and area)",
-                "Per-structure breakdown normalized to the in-order "
-                "baseline, geomean activity over the suite");
+    ExperimentSpec spec;
+    spec.name = "fig16_power_area";
+    spec.title = "Figure 16 (power and area)";
+    spec.description = "Per-structure breakdown normalized to the "
+                       "in-order baseline, geomean activity over the "
+                       "suite";
 
-    // Accumulate per-structure watts across the suite (arithmetic mean
-    // of per-workload breakdowns, like McPAT batch reporting).
-    std::map<std::string, double> inoW, norW;
-    std::map<std::string, double> inoA, norA;
-    int n = 0;
-    for (const auto &name : selectedWorkloads()) {
-        const auto bundle = bundleFor(name);
-        CoreConfig ino = skylakeConfig();
-        ino.commitMode = CommitMode::InOrder;
-        PowerBreakdown pbIno = computePower(ino, simulate(ino, *bundle));
-        CoreConfig nor = skylakeConfig();
-        nor.commitMode = CommitMode::Noreba;
-        PowerBreakdown pbNor = computePower(nor, simulate(nor, *bundle));
-        for (const auto &s : powerStructureNames()) {
-            inoW[s] += pbIno.watts.count(s) ? pbIno.watts.at(s) : 0.0;
-            norW[s] += pbNor.watts.count(s) ? pbNor.watts.at(s) : 0.0;
-            inoA[s] = pbIno.area.count(s) ? pbIno.area.at(s) : 0.0;
-            norA[s] = pbNor.area.count(s) ? pbNor.area.at(s) : 0.0;
+    spec.plan = [](ExperimentPlan &plan) {
+        for (const auto &name : selectedWorkloads()) {
+            CoreConfig ino = skylakeConfig();
+            ino.commitMode = CommitMode::InOrder;
+            plan.add(name, "InO-C", job(name, ino));
+            CoreConfig nor = skylakeConfig();
+            nor.commitMode = CommitMode::Noreba;
+            plan.add(name, "Noreba", job(name, nor));
         }
-        ++n;
-    }
+    };
 
-    double inoTotalW = 0, norTotalW = 0, inoTotalA = 0, norTotalA = 0;
-    for (const auto &s : powerStructureNames()) {
-        inoW[s] /= n;
-        norW[s] /= n;
-        inoTotalW += inoW[s];
-        norTotalW += norW[s];
-        inoTotalA += inoA[s];
-        norTotalA += norA[s];
-    }
+    spec.report = [](const ExperimentResults &r) {
+        // Accumulate per-structure watts across the suite (arithmetic
+        // mean of per-workload breakdowns, like McPAT batch reporting).
+        std::map<std::string, double> inoW, norW;
+        std::map<std::string, double> inoA, norA;
+        int n = 0;
+        CoreConfig inoCfg = skylakeConfig();
+        inoCfg.commitMode = CommitMode::InOrder;
+        CoreConfig norCfg = skylakeConfig();
+        norCfg.commitMode = CommitMode::Noreba;
+        for (const auto &name : selectedWorkloads()) {
+            PowerBreakdown pbIno =
+                computePower(inoCfg, r.at(name, "InO-C"));
+            PowerBreakdown pbNor =
+                computePower(norCfg, r.at(name, "Noreba"));
+            for (const auto &s : powerStructureNames()) {
+                inoW[s] +=
+                    pbIno.watts.count(s) ? pbIno.watts.at(s) : 0.0;
+                norW[s] +=
+                    pbNor.watts.count(s) ? pbNor.watts.at(s) : 0.0;
+                inoA[s] = pbIno.area.count(s) ? pbIno.area.at(s) : 0.0;
+                norA[s] = pbNor.area.count(s) ? pbNor.area.at(s) : 0.0;
+            }
+            ++n;
+        }
 
-    TextTable table;
-    table.setHeader({"structure", "InO-C W", "NOREBA W", "InO-C mm2",
-                     "NOREBA mm2"});
-    for (const auto &s : powerStructureNames()) {
-        table.addRow({s, fmtDouble(inoW[s], 3), fmtDouble(norW[s], 3),
-                      fmtDouble(inoA[s], 3), fmtDouble(norA[s], 3)});
-    }
-    table.addRow({"TOTAL", fmtDouble(inoTotalW, 3),
-                  fmtDouble(norTotalW, 3), fmtDouble(inoTotalA, 3),
-                  fmtDouble(norTotalA, 3)});
-    std::printf("%s\n", table.render().c_str());
+        double inoTotalW = 0, norTotalW = 0, inoTotalA = 0,
+               norTotalA = 0;
+        for (const auto &s : powerStructureNames()) {
+            inoW[s] /= n;
+            norW[s] /= n;
+            inoTotalW += inoW[s];
+            norTotalW += norW[s];
+            inoTotalA += inoA[s];
+            norTotalA += norA[s];
+        }
 
-    std::printf("power overhead: %s (paper: ~4%%)\n",
-                fmtPercent(norTotalW / inoTotalW - 1.0).c_str());
-    std::printf("  of which the new structures (CQT+BIT+DCT, CIT, "
-                "commit queues): %s\n",
-                fmtPercent((norW["CQT+BIT+DCT"] + norW["CIT"]) /
-                           inoTotalW)
-                    .c_str());
-    std::printf("  the remainder (+%s) is higher per-cycle activity "
-                "from finishing the same work in fewer cycles\n",
-                fmtPercent(inoTotalW > 0
-                               ? (norTotalW - inoTotalW -
-                                  norW["CQT+BIT+DCT"] - norW["CIT"]) /
-                                     inoTotalW
-                               : 0.0)
-                    .c_str());
-    std::printf("area overhead:  %s (paper: ~8%%)\n",
-                fmtPercent(norTotalA / inoTotalA - 1.0).c_str());
-    return 0;
+        TextTable table;
+        table.setHeader({"structure", "InO-C W", "NOREBA W",
+                         "InO-C mm2", "NOREBA mm2"});
+        for (const auto &s : powerStructureNames()) {
+            table.addRow({s, fmtDouble(inoW[s], 3),
+                          fmtDouble(norW[s], 3), fmtDouble(inoA[s], 3),
+                          fmtDouble(norA[s], 3)});
+        }
+        table.addRow({"TOTAL", fmtDouble(inoTotalW, 3),
+                      fmtDouble(norTotalW, 3), fmtDouble(inoTotalA, 3),
+                      fmtDouble(norTotalA, 3)});
+        std::printf("%s\n", table.render().c_str());
+
+        std::printf("power overhead: %s (paper: ~4%%)\n",
+                    fmtPercent(norTotalW / inoTotalW - 1.0).c_str());
+        std::printf("  of which the new structures (CQT+BIT+DCT, CIT, "
+                    "commit queues): %s\n",
+                    fmtPercent((norW["CQT+BIT+DCT"] + norW["CIT"]) /
+                               inoTotalW)
+                        .c_str());
+        std::printf("  the remainder (+%s) is higher per-cycle "
+                    "activity from finishing the same work in fewer "
+                    "cycles\n",
+                    fmtPercent(inoTotalW > 0
+                                   ? (norTotalW - inoTotalW -
+                                      norW["CQT+BIT+DCT"] -
+                                      norW["CIT"]) /
+                                         inoTotalW
+                                   : 0.0)
+                        .c_str());
+        std::printf("area overhead:  %s (paper: ~8%%)\n",
+                    fmtPercent(norTotalA / inoTotalA - 1.0).c_str());
+    };
+
+    registerExperiment(std::move(spec));
 }
+
+} // namespace noreba::bench

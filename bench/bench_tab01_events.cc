@@ -8,12 +8,16 @@
  * generates.
  */
 
-#include "bench_util.h"
+#include <cstdio>
+
+#include "common/table.h"
+#include "experiments.h"
 #include "interp/interpreter.h"
 #include "ir/builder.h"
 #include "isa/setup_encoding.h"
 
-using namespace noreba;
+namespace noreba::bench {
+
 using namespace noreba::benchutil;
 
 namespace {
@@ -74,69 +78,80 @@ figure2Program()
 
 } // namespace
 
-int
-main()
+void
+registerTab01Events()
 {
-    printHeader("Table 1 (event-to-action semantics)",
-                "setBranchId/setDependency handling on the paper's "
-                "Figure 2 example, plus Selective ROB activity");
+    ExperimentSpec spec;
+    spec.name = "tab01_events";
+    spec.title = "Table 1 (event-to-action semantics)";
+    spec.description = "setBranchId/setDependency handling on the "
+                       "paper's Figure 2 example, plus Selective ROB "
+                       "activity";
 
-    Program prog = figure2Program();
-    PassResult pr = runBranchDependencePass(prog);
-    std::printf("%s\n", pr.report().c_str());
+    spec.plan = [](ExperimentPlan &plan) {
+        CoreConfig cfg = skylakeConfig();
+        cfg.commitMode = CommitMode::Noreba;
+        plan.add("mcf", "Noreba", job("mcf", cfg));
+    };
 
-    Interpreter interp(prog);
-    DynamicTrace trace = interp.run();
+    spec.report = [](const ExperimentResults &r) {
+        Program prog = figure2Program();
+        PassResult pr = runBranchDependencePass(prog);
+        std::printf("%s\n", pr.report().c_str());
 
-    TextTable table;
-    table.setHeader({"#", "event", "action"});
-    for (size_t i = 0; i < trace.size(); ++i) {
-        const TraceRecord &rec = trace.records[i];
-        char buf[128];
-        if (rec.op == Opcode::SET_BRANCH_ID) {
-            std::snprintf(buf, sizeof(buf),
-                          "BIT[%lld] = next branch's sequence number",
-                          static_cast<long long>(rec.addrOrImm));
-            table.addRow({std::to_string(i), "setBranchId decoded",
-                          buf});
-        } else if (rec.op == Opcode::SET_DEPENDENCY) {
-            std::snprintf(
-                buf, sizeof(buf),
-                "DCT = (ID %lld, BIT[ID]), counter = %lld",
-                static_cast<long long>(
-                    static_cast<int64_t>(rec.addrOrImm) >> 32),
-                static_cast<long long>(rec.addrOrImm & 0xffffffff));
-            table.addRow({std::to_string(i), "setDependency decoded",
-                          buf});
-        } else if (rec.guardIdx >= 0) {
-            std::snprintf(buf, sizeof(buf),
-                          "Inst.BranchID <- branch @%d; DCT.counter--",
-                          rec.guardIdx);
-            table.addRow({std::to_string(i),
-                          std::string(opcodeName(rec.op)) +
-                              " enters ROB'",
-                          buf});
-        } else {
-            table.addRow({std::to_string(i),
-                          std::string(opcodeName(rec.op)) +
-                              " enters ROB'",
-                          "Inst.BranchID = INVALID (independent)"});
+        Interpreter interp(prog);
+        DynamicTrace trace = interp.run();
+
+        TextTable table;
+        table.setHeader({"#", "event", "action"});
+        for (size_t i = 0; i < trace.size(); ++i) {
+            const TraceRecord &rec = trace.records[i];
+            char buf[128];
+            if (rec.op == Opcode::SET_BRANCH_ID) {
+                std::snprintf(buf, sizeof(buf),
+                              "BIT[%lld] = next branch's sequence number",
+                              static_cast<long long>(rec.addrOrImm));
+                table.addRow({std::to_string(i), "setBranchId decoded",
+                              buf});
+            } else if (rec.op == Opcode::SET_DEPENDENCY) {
+                std::snprintf(
+                    buf, sizeof(buf),
+                    "DCT = (ID %lld, BIT[ID]), counter = %lld",
+                    static_cast<long long>(
+                        static_cast<int64_t>(rec.addrOrImm) >> 32),
+                    static_cast<long long>(rec.addrOrImm & 0xffffffff));
+                table.addRow({std::to_string(i), "setDependency decoded",
+                              buf});
+            } else if (rec.guardIdx >= 0) {
+                std::snprintf(buf, sizeof(buf),
+                              "Inst.BranchID <- branch @%d; DCT.counter--",
+                              rec.guardIdx);
+                table.addRow({std::to_string(i),
+                              std::string(opcodeName(rec.op)) +
+                                  " enters ROB'",
+                              buf});
+            } else {
+                table.addRow({std::to_string(i),
+                              std::string(opcodeName(rec.op)) +
+                                  " enters ROB'",
+                              "Inst.BranchID = INVALID (independent)"});
+            }
         }
-    }
-    std::printf("%s\n", table.render().c_str());
+        std::printf("%s\n", table.render().c_str());
 
-    // Structure activity of a real Noreba run.
-    const auto bundle = bundleFor("mcf");
-    CoreConfig cfg = skylakeConfig();
-    cfg.commitMode = CommitMode::Noreba;
-    CoreStats s = simulate(cfg, *bundle);
-    std::printf("Selective ROB activity on mcf: BIT ops %llu, DCT ops "
-                "%llu, CQT ops %llu, CIT ops %llu, CQ pushes+pops "
-                "%llu\n",
-                static_cast<unsigned long long>(s.bitOps),
-                static_cast<unsigned long long>(s.dctOps),
-                static_cast<unsigned long long>(s.cqtOps),
-                static_cast<unsigned long long>(s.citOps),
-                static_cast<unsigned long long>(s.cqOps));
-    return 0;
+        // Structure activity of a real Noreba run.
+        const CoreStats &s = r.at("mcf", "Noreba");
+        std::printf("Selective ROB activity on mcf: BIT ops %llu, DCT "
+                    "ops %llu, CQT ops %llu, CIT ops %llu, CQ "
+                    "pushes+pops %llu\n",
+                    static_cast<unsigned long long>(s.bitOps),
+                    static_cast<unsigned long long>(s.dctOps),
+                    static_cast<unsigned long long>(s.cqtOps),
+                    static_cast<unsigned long long>(s.citOps),
+                    static_cast<unsigned long long>(s.cqOps));
+    };
+
+    registerExperiment(std::move(spec));
 }
+
+} // namespace noreba::bench

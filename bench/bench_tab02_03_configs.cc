@@ -2,71 +2,84 @@
  * @file
  * Tables 2 and 3: the system configuration and the three baseline
  * microarchitectures, printed from the live CoreConfig factories so
- * the documented configuration is exactly what the benches simulate.
+ * the documented configuration is exactly what the experiments
+ * simulate.
  */
 
-#include "bench_util.h"
+#include <cstdio>
+#include <string>
 
-using namespace noreba;
-using namespace noreba::benchutil;
+#include "common/table.h"
+#include "experiments.h"
 
-int
-main()
+namespace noreba::bench {
+
+void
+registerTab0203Configs()
 {
-    printHeader("Tables 2 & 3 (system configuration)",
-                "Printed from the CoreConfig factories used by every "
-                "experiment");
+    ExperimentSpec spec;
+    spec.name = "tab02_03_configs";
+    spec.title = "Tables 2 & 3 (system configuration)";
+    spec.description = "Printed from the CoreConfig factories used by "
+                       "every experiment";
 
-    CoreConfig skl = skylakeConfig();
-    std::printf("Table 2: system configuration\n");
-    TextTable t2;
-    t2.setHeader({"parameter", "value"});
-    auto kb = [](int bytes) {
-        return std::to_string(bytes / 1024) + "KB";
+    spec.report = [](const ExperimentResults &) {
+        CoreConfig skl = skylakeConfig();
+        std::printf("Table 2: system configuration\n");
+        TextTable t2;
+        t2.setHeader({"parameter", "value"});
+        auto kb = [](int bytes) {
+            return std::to_string(bytes / 1024) + "KB";
+        };
+        t2.addRow({"L1d", kb(skl.l1d.sizeBytes) + ", " +
+                              std::to_string(skl.l1d.latency) + "clk"});
+        t2.addRow({"L1i", kb(skl.l1i.sizeBytes) + ", " +
+                              std::to_string(skl.l1i.latency) + "clk"});
+        t2.addRow({"L2", kb(skl.l2.sizeBytes) + ", " +
+                             std::to_string(skl.l2.latency) + "clk"});
+        t2.addRow({"L3", kb(skl.l3.sizeBytes) + ", " +
+                             std::to_string(skl.l3.latency) + "clk"});
+        t2.addRow({"Dispatch/Issue/Commit width",
+                   std::to_string(skl.dispatchWidth) + "/" +
+                       std::to_string(skl.issueWidth) + "/" +
+                       std::to_string(skl.commitWidth)});
+        t2.addRow({"Branch predictor",
+                   "TAGE (4 tagged tables, scaled-down TAGE-SC-L-8KB)"});
+        t2.addRow({"Prefetcher", skl.prefetcher ? "DCPT" : "none"});
+        t2.addRow({"ROB' entries", "baseline core ROB (" +
+                                       std::to_string(skl.robEntries) +
+                                       ")"});
+        t2.addRow({"BR-CQs entries",
+                   std::to_string(skl.srob.numBrCqs) + " x " +
+                       std::to_string(skl.srob.brCqEntries) +
+                       "-entries"});
+        t2.addRow({"PR-CQ entries",
+                   std::to_string(skl.srob.prCqEntries) + "-entries"});
+        t2.addRow({"BIT/CQT entries",
+                   std::to_string(skl.srob.bitEntries)});
+        t2.addRow({"CIT entries", std::to_string(skl.srob.citEntries)});
+        std::printf("%s\n", t2.render().c_str());
+
+        std::printf(
+            "Table 3: baseline microarchitecture configurations\n");
+        TextTable t3;
+        t3.setHeader({"microarchitecture", "ROB", "IQ", "LQ/SQ", "RF"});
+        for (const char *name : {"NHM", "HSW", "SKL"}) {
+            CoreConfig cfg = configByName(name);
+            std::string full = std::string(
+                name == std::string("NHM")   ? "Nehalem-like (NHM)"
+                : name == std::string("HSW") ? "Haswell-like (HSW)"
+                                             : "Skylake-like (SKL)");
+            t3.addRow({full, std::to_string(cfg.robEntries),
+                       std::to_string(cfg.iqEntries),
+                       std::to_string(cfg.lqEntries) + "/" +
+                           std::to_string(cfg.sqEntries),
+                       std::to_string(cfg.rfEntries)});
+        }
+        std::printf("%s\n", t3.render().c_str());
     };
-    t2.addRow({"L1d", kb(skl.l1d.sizeBytes) + ", " +
-                          std::to_string(skl.l1d.latency) + "clk"});
-    t2.addRow({"L1i", kb(skl.l1i.sizeBytes) + ", " +
-                          std::to_string(skl.l1i.latency) + "clk"});
-    t2.addRow({"L2", kb(skl.l2.sizeBytes) + ", " +
-                         std::to_string(skl.l2.latency) + "clk"});
-    t2.addRow({"L3", kb(skl.l3.sizeBytes) + ", " +
-                         std::to_string(skl.l3.latency) + "clk"});
-    t2.addRow({"Dispatch/Issue/Commit width",
-               std::to_string(skl.dispatchWidth) + "/" +
-                   std::to_string(skl.issueWidth) + "/" +
-                   std::to_string(skl.commitWidth)});
-    t2.addRow({"Branch predictor",
-               "TAGE (4 tagged tables, scaled-down TAGE-SC-L-8KB)"});
-    t2.addRow({"Prefetcher", skl.prefetcher ? "DCPT" : "none"});
-    t2.addRow({"ROB' entries", "baseline core ROB (" +
-                                   std::to_string(skl.robEntries) +
-                                   ")"});
-    t2.addRow({"BR-CQs entries",
-               std::to_string(skl.srob.numBrCqs) + " x " +
-                   std::to_string(skl.srob.brCqEntries) + "-entries"});
-    t2.addRow({"PR-CQ entries",
-               std::to_string(skl.srob.prCqEntries) + "-entries"});
-    t2.addRow({"BIT/CQT entries",
-               std::to_string(skl.srob.bitEntries)});
-    t2.addRow({"CIT entries", std::to_string(skl.srob.citEntries)});
-    std::printf("%s\n", t2.render().c_str());
 
-    std::printf("Table 3: baseline microarchitecture configurations\n");
-    TextTable t3;
-    t3.setHeader({"microarchitecture", "ROB", "IQ", "LQ/SQ", "RF"});
-    for (const char *name : {"NHM", "HSW", "SKL"}) {
-        CoreConfig cfg = configByName(name);
-        std::string full = std::string(
-            name == std::string("NHM")   ? "Nehalem-like (NHM)"
-            : name == std::string("HSW") ? "Haswell-like (HSW)"
-                                         : "Skylake-like (SKL)");
-        t3.addRow({full, std::to_string(cfg.robEntries),
-                   std::to_string(cfg.iqEntries),
-                   std::to_string(cfg.lqEntries) + "/" +
-                       std::to_string(cfg.sqEntries),
-                   std::to_string(cfg.rfEntries)});
-    }
-    std::printf("%s\n", t3.render().c_str());
-    return 0;
+    registerExperiment(std::move(spec));
 }
+
+} // namespace noreba::bench

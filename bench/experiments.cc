@@ -1,0 +1,25 @@
+#include "experiments.h"
+
+namespace noreba::bench {
+
+void
+registerAllExperiments()
+{
+    registerFig01Motivation();
+    registerTab01Events();
+    registerTab0203Configs();
+    registerFig06Main();
+    registerFig07CriticalBranches();
+    registerFig08OooFraction();
+    registerFig09CqSweepPerf();
+    registerFig10CqSweepPower();
+    registerFig11SetupOverhead();
+    registerFig12CoreSizes();
+    registerFig13Prefetching();
+    registerFig14Ecl();
+    registerFig15CommitWidth();
+    registerFig16PowerArea();
+    registerAblationDesign();
+}
+
+} // namespace noreba::bench

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Registration entry points for the paper's figure/table experiments.
+ * Each bench_*.cc file is a thin registrant: it packages one figure's
+ * job plan and report into an ExperimentSpec (src/exp/experiment.h)
+ * and registers it here. registerAllExperiments() calls every
+ * registrant in paper order — explicit calls, because static-init
+ * self-registration is silently dropped for unreferenced objects in
+ * static libraries — and the noreba-bench driver does the rest.
+ */
+
+#ifndef NOREBA_BENCH_EXPERIMENTS_H
+#define NOREBA_BENCH_EXPERIMENTS_H
+
+#include "exp/driver.h"
+#include "exp/env.h"
+#include "exp/experiment.h"
+
+namespace noreba::bench {
+
+void registerFig01Motivation();
+void registerTab01Events();
+void registerTab0203Configs();
+void registerFig06Main();
+void registerFig07CriticalBranches();
+void registerFig08OooFraction();
+void registerFig09CqSweepPerf();
+void registerFig10CqSweepPower();
+void registerFig11SetupOverhead();
+void registerFig12CoreSizes();
+void registerFig13Prefetching();
+void registerFig14Ecl();
+void registerFig15CommitWidth();
+void registerFig16PowerArea();
+void registerAblationDesign();
+
+/** Register every experiment above, in paper order. */
+void registerAllExperiments();
+
+} // namespace noreba::bench
+
+#endif // NOREBA_BENCH_EXPERIMENTS_H

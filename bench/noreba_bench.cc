@@ -1,0 +1,21 @@
+/**
+ * @file
+ * The unified experiment driver binary. Every paper figure/table runs
+ * through here:
+ *
+ *   noreba-bench --list
+ *   noreba-bench --run fig06_main
+ *   noreba-bench --run all --json-dir out
+ *
+ * See src/exp/driver.h for the CLI contract and EXPERIMENTS.md for
+ * the experiment index.
+ */
+
+#include "experiments.h"
+
+int
+main(int argc, char **argv)
+{
+    noreba::bench::registerAllExperiments();
+    return noreba::bench::benchMain(argc, argv);
+}

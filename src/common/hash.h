@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Shared FNV-1a hashing for cache keys and file fingerprints (trace
+ * store, result store, config fingerprints). 64-bit FNV-1a over raw
+ * bytes: stable across runs, cheap, and good enough for
+ * content-addressed cache keys whose payload is verified on load.
+ */
+
+#ifndef NOREBA_COMMON_HASH_H
+#define NOREBA_COMMON_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace noreba {
+
+inline uint64_t
+fnv1a(const void *data, size_t n, uint64_t h = 1469598103934665603ull)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+inline uint64_t
+fnv1a(const std::string &s, uint64_t h = 1469598103934665603ull)
+{
+    return fnv1a(s.data(), s.size(), h);
+}
+
+} // namespace noreba
+
+#endif // NOREBA_COMMON_HASH_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Unified experiment driver. One binary (bench/noreba_bench.cc) runs
+ * any registered experiment:
+ *
+ *   noreba-bench --list
+ *   noreba-bench --run fig06_main --run fig09_cq_sweep_perf
+ *   noreba-bench --run all --json-dir out --jobs 4
+ *
+ * Experiments executed in one process share the global trace-bundle
+ * and simulation-result caches, so `--run all` simulates each distinct
+ * (workload, trace options, config) exactly once — and, with
+ * NOREBA_RESULT_DIR set, a warm rerun simulates nothing at all
+ * (simBuilds == 0 in every BENCH_<name>.json).
+ */
+
+#ifndef NOREBA_EXP_DRIVER_H
+#define NOREBA_EXP_DRIVER_H
+
+#include "exp/experiment.h"
+
+namespace noreba::bench {
+
+/**
+ * Execute one experiment end to end: print its header, run the
+ * planned sweep (capturing the first job's EventLog when
+ * NOREBA_EVENT_TRACE is on), invoke its report, and — when
+ * NOREBA_JSON_DIR is set — write BENCH_<name>.json (and the
+ * TRACE_<name>.json Chrome trace, exported from the captured log
+ * without re-simulating).
+ */
+void runExperiment(const ExperimentSpec &spec);
+
+/**
+ * The noreba-bench CLI: --list, --run <name|all|comma-list>
+ * (repeatable), --json-dir <dir> (sets NOREBA_JSON_DIR), --jobs <n>
+ * (sets NOREBA_JOBS). Returns the process exit code; unknown flags or
+ * experiment names exit 2 after listing what is known.
+ */
+int benchMain(int argc, char **argv);
+
+} // namespace noreba::bench
+
+#endif // NOREBA_EXP_DRIVER_H

@@ -1,0 +1,115 @@
+#include "exp/env.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace noreba::benchutil {
+
+uint64_t
+traceLen()
+{
+    const char *env = std::getenv("NOREBA_TRACE_LEN");
+    if (!env || !*env)
+        return 250000ull;
+    errno = 0;
+    char *end = nullptr;
+    long long parsed = std::strtoll(env, &end, 10);
+    fatal_if(errno != 0 || end == env || *end != '\0' || parsed <= 0,
+             "NOREBA_TRACE_LEN=\"%s\" is not a positive integer", env);
+    return static_cast<uint64_t>(parsed);
+}
+
+std::vector<std::string>
+selectedWorkloads()
+{
+    const char *env = std::getenv("NOREBA_WORKLOADS");
+    if (!env)
+        return workloadNames();
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char *c = env;; ++c) {
+        if (*c == ',' || *c == '\0') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+            if (*c == '\0')
+                break;
+        } else {
+            cur.push_back(*c);
+        }
+    }
+    // One pass over the registry builds the membership set; each name
+    // is then an O(1) probe instead of a rescan of the registry.
+    std::unordered_set<std::string> known;
+    for (const auto &desc : workloadRegistry())
+        known.insert(desc.name);
+    std::string unknown;
+    for (const auto &name : out) {
+        if (known.count(name))
+            continue;
+        if (!unknown.empty())
+            unknown += ", ";
+        unknown += name;
+    }
+    if (!unknown.empty()) {
+        std::string all;
+        for (const auto &desc : workloadRegistry()) {
+            if (!all.empty())
+                all += ", ";
+            all += desc.name;
+        }
+        fatal("NOREBA_WORKLOADS names unknown workload(s): %s (known: %s)",
+              unknown.c_str(), all.c_str());
+    }
+    return out;
+}
+
+std::vector<std::string>
+specWorkloads()
+{
+    std::vector<std::string> out;
+    for (const auto &desc : workloadRegistry())
+        if (desc.suite == "spec")
+            out.push_back(desc.name);
+    return out;
+}
+
+TraceOptions
+traceOptions(bool annotate, bool stripSetups)
+{
+    TraceOptions opts;
+    opts.maxDynInsts = traceLen();
+    opts.annotate = annotate;
+    opts.stripSetups = stripSetups;
+    return opts;
+}
+
+std::shared_ptr<const TraceBundle>
+bundleFor(const std::string &name, bool annotate, bool stripSetups)
+{
+    return globalBundleCache().get(name,
+                                   traceOptions(annotate, stripSetups));
+}
+
+bool
+eventTraceEnabled()
+{
+    const char *env = std::getenv("NOREBA_EVENT_TRACE");
+    return env && *env && std::string(env) != "0";
+}
+
+SweepJob
+job(const std::string &workload, const CoreConfig &cfg, bool annotate,
+    bool stripSetups)
+{
+    SweepJob j{workload, cfg, traceOptions(annotate, stripSetups)};
+    // Tracing never touches CoreStats, so flipping this in no way
+    // perturbs the sweep's numbers (tests/trace_test.cc pins that).
+    j.cfg.eventTrace = eventTraceEnabled();
+    return j;
+}
+
+} // namespace noreba::benchutil

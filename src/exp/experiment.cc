@@ -1,0 +1,94 @@
+#include "exp/experiment.h"
+
+#include "common/logging.h"
+
+namespace noreba::bench {
+
+void
+ExperimentPlan::add(const std::string &row, const std::string &series,
+                    SweepJob job)
+{
+    fatal_if(!used_.emplace(row, series).second,
+             "experiment plan: duplicate handle (%s, %s)", row.c_str(),
+             series.c_str());
+    planned_.push_back({row, series, std::move(job)});
+}
+
+ExperimentResults::ExperimentResults(std::vector<PlannedJob> plan,
+                                     std::vector<SweepResult> results)
+    : plan_(std::move(plan)), results_(std::move(results))
+{
+    panic_if(plan_.size() != results_.size(),
+             "experiment: %zu planned jobs but %zu results", plan_.size(),
+             results_.size());
+    for (size_t i = 0; i < plan_.size(); ++i)
+        index_.emplace(std::make_pair(plan_[i].row, plan_[i].series), i);
+}
+
+size_t
+ExperimentResults::indexOf(const std::string &row,
+                           const std::string &series) const
+{
+    auto it = index_.find(std::make_pair(row, series));
+    fatal_if(it == index_.end(),
+             "experiment report reads unplanned handle (%s, %s)",
+             row.c_str(), series.c_str());
+    return it->second;
+}
+
+const CoreStats &
+ExperimentResults::at(const std::string &row,
+                      const std::string &series) const
+{
+    return results_[indexOf(row, series)].stats;
+}
+
+const SweepJob &
+ExperimentResults::jobAt(const std::string &row,
+                         const std::string &series) const
+{
+    return results_[indexOf(row, series)].job;
+}
+
+bool
+ExperimentResults::has(const std::string &row,
+                       const std::string &series) const
+{
+    return index_.count(std::make_pair(row, series)) != 0;
+}
+
+namespace {
+
+std::vector<ExperimentSpec> &
+mutableRegistry()
+{
+    static std::vector<ExperimentSpec> registry;
+    return registry;
+}
+
+} // namespace
+
+void
+registerExperiment(ExperimentSpec spec)
+{
+    fatal_if(findExperiment(spec.name) != nullptr,
+             "duplicate experiment \"%s\"", spec.name.c_str());
+    mutableRegistry().push_back(std::move(spec));
+}
+
+const std::vector<ExperimentSpec> &
+experimentRegistry()
+{
+    return mutableRegistry();
+}
+
+const ExperimentSpec *
+findExperiment(const std::string &name)
+{
+    for (const ExperimentSpec &spec : mutableRegistry())
+        if (spec.name == name)
+            return &spec;
+    return nullptr;
+}
+
+} // namespace noreba::bench

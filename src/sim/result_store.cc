@@ -1,0 +1,335 @@
+#include "sim/result_store.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "sim/trace_store.h"
+
+namespace noreba {
+
+namespace {
+
+constexpr char MAGIC[8] = {'N', 'O', 'R', 'B', 'R', 'E', 'S', '\0'};
+
+/**
+ * On-disk header. Everything after it is validated against these
+ * fields before a single payload byte is interpreted.
+ */
+struct ResultHeader
+{
+    char magic[8];
+    uint32_t formatVersion;
+    uint32_t numCounters;       //!< CORE_STATS_FIELDS counters at write
+    uint64_t modelVersion;      //!< RESULT_STORE_MODEL_VERSION
+    uint64_t passFingerprint;   //!< TRACE_STORE_PASS_FINGERPRINT
+    uint64_t statsFingerprint;  //!< coreStatsLayoutFingerprint()
+    uint64_t headerChecksum;    //!< FNV over header, this field zeroed
+    uint64_t payloadChecksum;   //!< FNV over [sizeof(header), fileBytes)
+    uint64_t fileBytes;
+    uint64_t keyBytes;          //!< canonical key text length
+    uint64_t numBranchStalls;   //!< per-branch stall map entries
+};
+static_assert(sizeof(ResultHeader) % 8 == 0,
+              "counter section must stay 8-byte aligned");
+static_assert(std::is_trivially_copyable_v<ResultHeader>);
+
+size_t
+pad8(size_t n)
+{
+    return (n + 7) & ~size_t{7};
+}
+
+uint64_t
+headerChecksumOf(const ResultHeader &h)
+{
+    ResultHeader copy = h;
+    copy.headerChecksum = 0;
+    return fnv1a(&copy, sizeof(copy));
+}
+
+size_t
+numCounters()
+{
+    size_t n = 0;
+    for (const CoreStatsField &f : CORE_STATS_FIELDS)
+        if (f.counter)
+            ++n;
+    return n;
+}
+
+/** mkdir -p: every component of `dir`, ignoring what already exists. */
+bool
+ensureDir(const std::string &dir)
+{
+    std::string partial;
+    for (size_t i = 0; i <= dir.size(); ++i) {
+        if (i < dir.size() && dir[i] != '/') {
+            partial.push_back(dir[i]);
+            continue;
+        }
+        if (i < dir.size())
+            partial.push_back('/');
+        if (partial.empty() || partial == "/")
+            continue;
+        if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST)
+            return false;
+    }
+    struct stat st;
+    return ::stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+} // namespace
+
+uint64_t
+coreStatsLayoutFingerprint()
+{
+    uint64_t h = fnv1a("CoreStats counters:");
+    for (const CoreStatsField &f : CORE_STATS_FIELDS) {
+        if (!f.counter)
+            continue;
+        h = fnv1a(f.name, std::strlen(f.name), h);
+        h = fnv1a("\n", 1, h);
+    }
+    return h;
+}
+
+std::string
+resultStoreDir()
+{
+    const char *env = std::getenv("NOREBA_RESULT_DIR");
+    return env && *env ? std::string(env) : std::string();
+}
+
+std::string
+resultKey(const std::string &workload, const CoreConfig &cfg,
+          const TraceOptions &opts)
+{
+    // The scale double is keyed by its bit pattern, printed as hex, so
+    // the key text is exact and locale-independent.
+    uint64_t scaleBits;
+    std::memcpy(&scaleBits, &opts.params.scale, sizeof(scaleBits));
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "seed=%llu\nscaleBits=%016llx\nmaxDynInsts=%llu\n"
+                  "annotate=%d\nstripSetups=%d\n",
+                  static_cast<unsigned long long>(opts.params.seed),
+                  static_cast<unsigned long long>(scaleBits),
+                  static_cast<unsigned long long>(opts.maxDynInsts),
+                  opts.annotate ? 1 : 0, opts.stripSetups ? 1 : 0);
+    return "workload=" + workload + "\n" + buf + serializeConfig(cfg);
+}
+
+std::string
+resultPath(const std::string &workload, const CoreConfig &cfg,
+           const TraceOptions &opts)
+{
+    std::string dir = resultStoreDir();
+    if (dir.empty())
+        return {};
+
+    uint64_t h = fnv1a(resultKey(workload, cfg, opts));
+    const uint64_t versions[] = {
+        RESULT_STORE_FORMAT_VERSION,
+        RESULT_STORE_MODEL_VERSION,
+        TRACE_STORE_PASS_FINGERPRINT,
+        coreStatsLayoutFingerprint(),
+    };
+    h = fnv1a(versions, sizeof(versions), h);
+
+    std::string base;
+    for (char c : workload)
+        base.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c
+                                                                   : '_');
+    char hex[32];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return dir + "/" + base + "-" + hex + ".v" +
+           std::to_string(RESULT_STORE_FORMAT_VERSION) + ".nrs";
+}
+
+bool
+resultStoreEligible(const CoreConfig &cfg)
+{
+    return !cfg.eventTrace && !cfg.safetyChecks && !cfg.shadowIndexCheck;
+}
+
+bool
+loadResult(const std::string &path, const std::string &key, CoreStats &out)
+{
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return false;
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size < 0 ||
+        static_cast<size_t>(st.st_size) < sizeof(ResultHeader)) {
+        ::close(fd);
+        return false;
+    }
+    std::vector<uint8_t> buf(static_cast<size_t>(st.st_size));
+    size_t got = 0;
+    while (got < buf.size()) {
+        ssize_t n = ::read(fd, buf.data() + got, buf.size() - got);
+        if (n <= 0)
+            break;
+        got += static_cast<size_t>(n);
+    }
+    ::close(fd);
+    if (got != buf.size())
+        return false;
+
+    ResultHeader h;
+    std::memcpy(&h, buf.data(), sizeof(h));
+    if (std::memcmp(h.magic, MAGIC, sizeof(MAGIC)) != 0 ||
+        h.headerChecksum != headerChecksumOf(h) ||
+        h.formatVersion != RESULT_STORE_FORMAT_VERSION ||
+        h.modelVersion != RESULT_STORE_MODEL_VERSION ||
+        h.passFingerprint != TRACE_STORE_PASS_FINGERPRINT ||
+        h.statsFingerprint != coreStatsLayoutFingerprint() ||
+        h.numCounters != numCounters() || h.fileBytes != buf.size())
+        return false;
+
+    // Section sizes: bound each field before doing arithmetic on it so
+    // a corrupt header cannot overflow the offset computation.
+    if (h.keyBytes > buf.size() ||
+        h.numBranchStalls > buf.size() / (4 * sizeof(uint64_t)))
+        return false;
+    const size_t countersOff =
+        pad8(sizeof(ResultHeader) + static_cast<size_t>(h.keyBytes));
+    const size_t counterBytes = h.numCounters * sizeof(uint64_t);
+    if (countersOff > buf.size() ||
+        counterBytes > buf.size() - countersOff)
+        return false;
+    const size_t stallsOff = countersOff + counterBytes;
+    const size_t stallBytes =
+        static_cast<size_t>(h.numBranchStalls) * 4 * sizeof(uint64_t);
+    if (stallsOff + stallBytes != buf.size())
+        return false;
+
+    if (h.payloadChecksum != fnv1a(buf.data() + sizeof(ResultHeader),
+                                   buf.size() - sizeof(ResultHeader)))
+        return false;
+
+    // Content check: the stored key must be byte-identical to the
+    // requested one, so a file-name hash collision misses cleanly.
+    if (key.size() != h.keyBytes ||
+        std::memcmp(buf.data() + sizeof(ResultHeader), key.data(),
+                    key.size()) != 0)
+        return false;
+
+    out = CoreStats{};
+    const uint8_t *p = buf.data() + countersOff;
+    for (const CoreStatsField &f : CORE_STATS_FIELDS) {
+        if (!f.counter)
+            continue;
+        uint64_t v;
+        std::memcpy(&v, p, sizeof(v));
+        p += sizeof(v);
+        out.*f.counter = v;
+    }
+    p = buf.data() + stallsOff;
+    for (uint64_t i = 0; i < h.numBranchStalls; ++i) {
+        uint64_t rec[4];
+        std::memcpy(rec, p, sizeof(rec));
+        p += sizeof(rec);
+        out.branchStalls[rec[0]] = BranchStall{rec[1], rec[2], rec[3]};
+    }
+    return true;
+}
+
+size_t
+saveResult(const std::string &path, const std::string &key,
+           const CoreStats &stats)
+{
+    const size_t countersOff = pad8(sizeof(ResultHeader) + key.size());
+    const size_t counterBytes = numCounters() * sizeof(uint64_t);
+    // Sorted by pc so equal stats always serialize to equal bytes.
+    std::vector<std::pair<uint64_t, BranchStall>> stalls(
+        stats.branchStalls.begin(), stats.branchStalls.end());
+    std::sort(stalls.begin(), stalls.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    const size_t stallsOff = countersOff + counterBytes;
+    const size_t fileBytes = stallsOff + stalls.size() * 4 * sizeof(uint64_t);
+
+    std::vector<uint8_t> buf(fileBytes, 0);
+    std::memcpy(buf.data() + sizeof(ResultHeader), key.data(), key.size());
+    uint8_t *p = buf.data() + countersOff;
+    for (const CoreStatsField &f : CORE_STATS_FIELDS) {
+        if (!f.counter)
+            continue;
+        const uint64_t v = stats.*f.counter;
+        std::memcpy(p, &v, sizeof(v));
+        p += sizeof(v);
+    }
+    p = buf.data() + stallsOff;
+    for (const auto &[pc, s] : stalls) {
+        const uint64_t rec[4] = {pc, s.stallCycles, s.instances,
+                                 s.dependents};
+        std::memcpy(p, rec, sizeof(rec));
+        p += sizeof(rec);
+    }
+
+    ResultHeader h{};
+    std::memcpy(h.magic, MAGIC, sizeof(MAGIC));
+    h.formatVersion = RESULT_STORE_FORMAT_VERSION;
+    h.numCounters = static_cast<uint32_t>(numCounters());
+    h.modelVersion = RESULT_STORE_MODEL_VERSION;
+    h.passFingerprint = TRACE_STORE_PASS_FINGERPRINT;
+    h.statsFingerprint = coreStatsLayoutFingerprint();
+    h.fileBytes = fileBytes;
+    h.keyBytes = key.size();
+    h.numBranchStalls = stalls.size();
+    h.payloadChecksum = fnv1a(buf.data() + sizeof(ResultHeader),
+                              fileBytes - sizeof(ResultHeader));
+    h.headerChecksum = headerChecksumOf(h);
+    std::memcpy(buf.data(), &h, sizeof(h));
+
+    const size_t slash = path.rfind('/');
+    if (slash != std::string::npos && !ensureDir(path.substr(0, slash))) {
+        warn("result store: cannot create directory for %s", path.c_str());
+        return 0;
+    }
+
+    // Unique temp name per writer: concurrent same-key writers each
+    // publish a complete file; rename() makes the last one win.
+    static std::atomic<uint64_t> seq{0};
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid()) +
+                            "." + std::to_string(seq++);
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (fd < 0) {
+        warn("result store: cannot create %s", tmp.c_str());
+        return 0;
+    }
+    size_t written = 0;
+    while (written < fileBytes) {
+        ssize_t n = ::write(fd, buf.data() + written, fileBytes - written);
+        if (n <= 0) {
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            warn("result store: short write to %s", tmp.c_str());
+            return 0;
+        }
+        written += static_cast<size_t>(n);
+    }
+    if (::fsync(fd) != 0 || ::close(fd) != 0 ||
+        ::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        warn("result store: cannot publish %s", path.c_str());
+        return 0;
+    }
+    return fileBytes;
+}
+
+} // namespace noreba

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Content-addressed on-disk store for simulation results, so a full
+ * reproduction run pays for each distinct (workload, trace options,
+ * core config) simulation once per *machine*: a cold `noreba-bench
+ * --run all` publishes every CoreStats under NOREBA_RESULT_DIR and a
+ * warm rerun replays the whole figure set from disk without simulating
+ * (simBuilds == 0), the same shape as result caching in a serving
+ * stack.
+ *
+ * Keying is content-addressed: the key *text* is the workload name,
+ * the canonical TraceOptions serialization, and the canonical
+ * CoreConfig serialization (uarch/config.h field table), so any knob
+ * that shapes the simulation is part of the identity. The file name
+ * hashes that text together with the format version, the result model
+ * version, the trace pass fingerprint, and the CoreStats layout
+ * fingerprint; the full key text is stored in the file and compared on
+ * load, so a hash collision misses instead of serving a wrong result.
+ *
+ * Discipline matches sim/trace_store.h: atomic write-then-rename
+ * publishing, header + payload checksums, and any mismatch — magic,
+ * version, fingerprint, size, checksum, key text — makes load fail and
+ * the caller re-simulate; a corrupt or stale file is never half-read.
+ */
+
+#ifndef NOREBA_SIM_RESULT_STORE_H
+#define NOREBA_SIM_RESULT_STORE_H
+
+#include <cstdint>
+#include <string>
+
+#include "sim/runner.h"
+#include "uarch/config.h"
+#include "uarch/stats.h"
+
+namespace noreba {
+
+/** Bump on any change to the on-disk result layout. */
+constexpr uint32_t RESULT_STORE_FORMAT_VERSION = 1;
+
+/**
+ * Fingerprint of the simulation semantics: bump whenever Core, a
+ * commit policy, the cache/predictor/prefetcher models, or anything
+ * else that shapes CoreStats changes behaviour, so stale results miss
+ * instead of silently reporting an old simulator's numbers. (Trace
+ * semantics are covered separately by TRACE_STORE_PASS_FINGERPRINT,
+ * which is folded into the key.)
+ */
+constexpr uint64_t RESULT_STORE_MODEL_VERSION = 1;
+
+/**
+ * Fingerprint of the CoreStats counter set (names, in declaration
+ * order). Changes whenever NOREBA_CORE_STATS_FIELDS gains, loses, or
+ * reorders a counter, so results written with a different stats schema
+ * are rejected.
+ */
+uint64_t coreStatsLayoutFingerprint();
+
+/** NOREBA_RESULT_DIR, or empty when the store is disabled. */
+std::string resultStoreDir();
+
+/**
+ * The content-addressed identity of one simulation: workload, trace
+ * options, and the full canonical config serialization. Equal keys
+ * mean bit-identical CoreStats (the simulator is deterministic).
+ */
+std::string resultKey(const std::string &workload, const CoreConfig &cfg,
+                      const TraceOptions &opts);
+
+/**
+ * Full path of the result file for one key, or empty when the store
+ * is disabled. `<workload>-<key hash>.v<format version>.nrs`.
+ */
+std::string resultPath(const std::string &workload, const CoreConfig &cfg,
+                       const TraceOptions &opts);
+
+/**
+ * Whether results for @p cfg may be served from / published to the
+ * disk store. Event-traced runs need a live EventLog and the
+ * verification modes (safetyChecks, shadowIndexCheck) exist to *run*
+ * their checks, so caching them would defeat the point; all are
+ * simulated for real. attributeStalls runs are eligible — the
+ * per-branch stall map is serialized alongside the counters.
+ */
+bool resultStoreEligible(const CoreConfig &cfg);
+
+/**
+ * Load the result at @p path, validating it against the expected
+ * @p key text. Returns false on any mismatch or corruption — the
+ * caller re-simulates.
+ */
+bool loadResult(const std::string &path, const std::string &key,
+                CoreStats &out);
+
+/**
+ * Serialize @p stats to @p path with atomic write-then-rename
+ * publishing. Creates the store directory if needed. Returns the bytes
+ * written, or 0 on failure (warns, never aborts — the store is a
+ * cache, losing it costs a re-simulation).
+ */
+size_t saveResult(const std::string &path, const std::string &key,
+                  const CoreStats &stats);
+
+} // namespace noreba
+
+#endif // NOREBA_SIM_RESULT_STORE_H

@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "sim/result_store.h"
 #include "sim/trace_store.h"
 
 namespace noreba {
@@ -179,8 +180,114 @@ globalBundleCache()
     return cache;
 }
 
-SweepRunner::SweepRunner(unsigned numThreads, BundleCache *cache)
-    : numThreads_(numThreads ? numThreads : jobsFromEnv()), cache_(cache)
+CoreStats
+ResultCache::get(const SweepJob &job, const Simulate &sim)
+{
+    const std::string key = resultKey(job.workload, job.cfg, job.trace);
+    std::shared_ptr<Entry> entry;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            entry = it->second;
+            // A completed result is a hit; an entry another thread is
+            // still simulating is not — this caller blocks on the
+            // call_once below and shares the one simulation.
+            if (entry->done) {
+                ++stats_.memHits;
+                return entry->stats;
+            }
+            ++stats_.sharedSims;
+        } else {
+            entry = std::make_shared<Entry>();
+            entries_.emplace(key, entry);
+        }
+    }
+    // Simulate outside the map lock so unrelated jobs run in parallel;
+    // call_once blocks only the threads that want this one. A callable
+    // that throws leaves the once_flag unset (waiters retry); the catch
+    // below drops the entry so a failing key cannot poison the cache.
+    try {
+        std::call_once(entry->once, [&] {
+            const std::string path =
+                resultStoreEligible(job.cfg)
+                    ? resultPath(job.workload, job.cfg, job.trace)
+                    : std::string();
+            CoreStats stats;
+            if (!path.empty() && loadResult(path, key, stats)) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.diskHits;
+                entry->stats = std::move(stats);
+                entry->done = true;
+                return;
+            }
+            stats = sim();
+            const size_t published =
+                path.empty() ? 0 : saveResult(path, key, stats);
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.simBuilds;
+            if (published) {
+                ++stats_.stored;
+                stats_.bytesWritten += published;
+            }
+            entry->stats = std::move(stats);
+            entry->done = true;
+        });
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        removeFailedLocked(key, entry);
+        throw;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entry->stats;
+}
+
+void
+ResultCache::recordExternalSim()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.simBuilds;
+}
+
+void
+ResultCache::removeFailedLocked(const std::string &key,
+                                const std::shared_ptr<Entry> &entry)
+{
+    // Only drop the exact entry we failed to simulate, and only while
+    // it is still incomplete: a concurrent retry that succeeded (or a
+    // fresh entry under the same key) must stay.
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second == entry && !entry->done)
+        entries_.erase(it);
+}
+
+size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+SimCacheStats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+ResultCache &
+globalResultCache()
+{
+    static ResultCache cache;
+    return cache;
+}
+
+SweepRunner::SweepRunner(unsigned numThreads, BundleCache *cache,
+                         ResultCache *results)
+    : numThreads_(numThreads ? numThreads : jobsFromEnv()), cache_(cache),
+      results_(results ? results
+               : cache == &globalBundleCache() ? &globalResultCache()
+                                               : nullptr)
 {
 }
 
@@ -203,14 +310,42 @@ SweepRunner::jobsFromEnv()
 std::vector<SweepResult>
 SweepRunner::run(const std::vector<SweepJob> &jobs)
 {
+    return run(jobs, nullptr);
+}
+
+std::vector<SweepResult>
+SweepRunner::run(const std::vector<SweepJob> &jobs,
+                 EventLog *firstJobEvents)
+{
     std::vector<SweepResult> results(jobs.size());
     auto runJob = [&](size_t i) {
         const SweepJob &job = jobs[i];
+        results[i].job = job;
+        if (i == 0 && firstJobEvents) {
+            // Event capture needs a live log, so this simulation runs
+            // for real regardless of what the result cache holds.
+            std::shared_ptr<const TraceBundle> bundle =
+                cache_->get(job.workload, job.trace);
+            results[i].stats =
+                simulate(job.cfg, *bundle, firstJobEvents);
+            if (results_)
+                results_->recordExternalSim();
+            return;
+        }
+        if (results_) {
+            // The bundle is fetched lazily inside the callback: a
+            // disk-served result never materializes its trace at all.
+            results[i].stats = results_->get(job, [&] {
+                std::shared_ptr<const TraceBundle> bundle =
+                    cache_->get(job.workload, job.trace);
+                return simulate(job.cfg, *bundle);
+            });
+            return;
+        }
         // Shared ownership keeps the bundle alive across simulate()
         // even if the cache's LRU tier evicts it mid-sweep.
         std::shared_ptr<const TraceBundle> bundle =
             cache_->get(job.workload, job.trace);
-        results[i].job = job;
         results[i].stats = simulate(job.cfg, *bundle);
     };
 
@@ -284,6 +419,19 @@ bundleCacheStatsToJson(const BundleCacheStats &s)
         .set("bytesMapped", s.bytesMapped)
         .set("bytesWritten", s.bytesWritten)
         .set("evictions", s.evictions);
+    return out;
+}
+
+JsonValue
+simCacheStatsToJson(const SimCacheStats &s)
+{
+    JsonValue out = JsonValue::object();
+    out.set("memHits", s.memHits)
+        .set("sharedSims", s.sharedSims)
+        .set("diskHits", s.diskHits)
+        .set("simBuilds", s.simBuilds)
+        .set("stored", s.stored)
+        .set("bytesWritten", s.bytesWritten);
     return out;
 }
 

@@ -155,6 +155,81 @@ class BundleCache
 /** The process-wide cache every sweep (and bench) shares. */
 BundleCache &globalBundleCache();
 
+/** Counters for the two-tier (memory over disk) simulation cache. */
+struct SimCacheStats
+{
+    uint64_t memHits = 0;      //!< result already resident in-process
+    uint64_t sharedSims = 0;   //!< joined another thread's in-flight sim
+    uint64_t diskHits = 0;     //!< loaded from NOREBA_RESULT_DIR
+    uint64_t simBuilds = 0;    //!< cold: full simulate() runs
+    uint64_t stored = 0;       //!< result files published to the store
+    uint64_t bytesWritten = 0; //!< bytes published to the disk store
+};
+
+/**
+ * Shared simulation-result cache: an in-memory tier over the on-disk
+ * result store (sim/result_store.h). Results are keyed by the full
+ * content-addressed identity (workload, trace options, canonical
+ * config); each distinct simulation runs exactly once per process even
+ * when many threads — or many experiments in one driver run — request
+ * it concurrently, and once per *machine* when NOREBA_RESULT_DIR is
+ * set and the config is store-eligible.
+ *
+ * CoreStats are small (a few hundred bytes plus the optional
+ * per-branch stall map), so the memory tier is unbounded: a full
+ * `noreba-bench --run all` holds every distinct result comfortably.
+ */
+class ResultCache
+{
+  public:
+    /** Produces the CoreStats for a job the cache cannot serve. */
+    using Simulate = std::function<CoreStats()>;
+
+    /**
+     * Fetch the result for @p job, calling @p sim at most once per key
+     * even across threads. Disk is consulted (and published) only when
+     * NOREBA_RESULT_DIR is set and resultStoreEligible(job.cfg); the
+     * in-memory dedup tier applies to every config. A @p sim that
+     * throws evicts the never-completed entry — later calls retry —
+     * and the exception propagates.
+     */
+    CoreStats get(const SweepJob &job, const Simulate &sim);
+
+    /**
+     * Count a simulation performed outside the cache (the event-trace
+     * capture path simulates job 0 directly so its EventLog is live),
+     * keeping simBuilds an honest total of simulate() calls.
+     */
+    void recordExternalSim();
+
+    /** Number of results currently resident in the memory tier. */
+    size_t size() const;
+
+    /** Snapshot of the hit/miss/byte counters. */
+    SimCacheStats stats() const;
+
+  private:
+    struct Entry
+    {
+        std::once_flag once;
+        /** Written only under mutex_; valid once done. */
+        CoreStats stats;
+        bool done = false;
+    };
+
+    /** Drop a never-completed entry after its simulation failed. */
+    void removeFailedLocked(const std::string &key,
+                            const std::shared_ptr<Entry> &entry);
+
+    mutable std::mutex mutex_;
+    /** Keyed by resultKey() — the content-addressed identity. */
+    std::map<std::string, std::shared_ptr<Entry>> entries_;
+    SimCacheStats stats_;
+};
+
+/** The process-wide result cache every sweep (and bench) shares. */
+ResultCache &globalResultCache();
+
 /** Execute sweeps over a fixed-size thread pool. */
 class SweepRunner
 {
@@ -163,9 +238,17 @@ class SweepRunner
      * @param numThreads  Worker count; 0 means "use jobsFromEnv()".
      * @param cache       Bundle cache to share; defaults to the global
      *                    one so independent sweeps reuse traces.
+     * @param results     Result cache for simulation memoization. When
+     *                    null, the global one is used — but only with
+     *                    the global bundle cache: a test-injected
+     *                    BundleCache can serve synthetic bundles whose
+     *                    results must never leak across runners, so a
+     *                    custom @p cache disables result caching unless
+     *                    a ResultCache is injected explicitly.
      */
     explicit SweepRunner(unsigned numThreads = 0,
-                         BundleCache *cache = &globalBundleCache());
+                         BundleCache *cache = &globalBundleCache(),
+                         ResultCache *results = nullptr);
 
     /**
      * Run every job and return results in submission order. Job i's
@@ -173,6 +256,17 @@ class SweepRunner
      * when it finished.
      */
     std::vector<SweepResult> run(const std::vector<SweepJob> &jobs);
+
+    /**
+     * As run(jobs), additionally recording the first job's pipeline
+     * events into @p firstJobEvents (when non-null). The capture
+     * simulates job 0 directly — a live EventLog cannot be served from
+     * the result cache — so callers exporting a Chrome trace get it
+     * from the same simulation that produced the first result instead
+     * of paying for a second one.
+     */
+    std::vector<SweepResult> run(const std::vector<SweepJob> &jobs,
+                                 EventLog *firstJobEvents);
 
     unsigned numThreads() const { return numThreads_; }
 
@@ -186,12 +280,14 @@ class SweepRunner
   private:
     unsigned numThreads_;
     BundleCache *cache_;
+    ResultCache *results_;
 };
 
 /** @name JSON records (BENCH_*.json emission) @{ */
 JsonValue configToJson(const CoreConfig &cfg);
 JsonValue statsToJson(const CoreStats &stats);
 JsonValue bundleCacheStatsToJson(const BundleCacheStats &stats);
+JsonValue simCacheStatsToJson(const SimCacheStats &stats);
 JsonValue sweepResultToJson(const SweepResult &result);
 /** Array of sweepResultToJson records, in sweep order. */
 JsonValue sweepToJson(const std::vector<SweepResult> &results);

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace noreba {
 
@@ -130,6 +131,120 @@ struct CoreConfig
     size_t eventTraceCapacity = 1u << 16;
     /** @} */
 };
+
+/**
+ * Declarative CoreConfig field table — the single source of truth for
+ * canonical serialization, the config fingerprint, and the per-field
+ * tests. Each entry names one scalar field by its dotted path (which
+ * is also the member access on a CoreConfig), tagged by type:
+ * S = std::string, I = int, B = bool, U = size_t, M = CommitMode.
+ *
+ * Adding a field to CoreConfig means adding it here (and, when it
+ * changes simulation results, bumping RESULT_STORE_MODEL_VERSION in
+ * sim/result_store.h). The sizeof tripwire in config.cc catches fields
+ * silently left out; tests/result_store_test.cc additionally asserts
+ * that mutating any listed field changes the fingerprint.
+ */
+#define NOREBA_CORE_CONFIG_FIELDS(S, I, B, U, M)                          \
+    S(name)                                                               \
+    I(fetchWidth)                                                         \
+    I(decodeWidth)                                                        \
+    I(dispatchWidth)                                                      \
+    I(issueWidth)                                                         \
+    I(commitWidth)                                                        \
+    I(steerWidth)                                                         \
+    I(ifqEntries)                                                         \
+    I(fetchToDecode)                                                      \
+    I(decodeToDispatch)                                                   \
+    I(redirectPenalty)                                                    \
+    I(robEntries)                                                         \
+    I(iqEntries)                                                          \
+    I(lqEntries)                                                          \
+    I(sqEntries)                                                          \
+    I(rfEntries)                                                          \
+    I(numIntAlu)                                                          \
+    I(numIntMul)                                                          \
+    I(numIntDiv)                                                          \
+    I(numFpAlu)                                                           \
+    I(numFpMul)                                                           \
+    I(numFpDiv)                                                           \
+    I(numLoadPorts)                                                       \
+    I(numStorePorts)                                                      \
+    I(numBranchUnits)                                                     \
+    I(l1i.sizeBytes)                                                      \
+    I(l1i.ways)                                                           \
+    I(l1i.lineBytes)                                                      \
+    I(l1i.latency)                                                        \
+    I(l1d.sizeBytes)                                                      \
+    I(l1d.ways)                                                           \
+    I(l1d.lineBytes)                                                      \
+    I(l1d.latency)                                                        \
+    I(l2.sizeBytes)                                                       \
+    I(l2.ways)                                                            \
+    I(l2.lineBytes)                                                       \
+    I(l2.latency)                                                         \
+    I(l3.sizeBytes)                                                       \
+    I(l3.ways)                                                            \
+    I(l3.lineBytes)                                                       \
+    I(l3.latency)                                                         \
+    I(dramLatency)                                                        \
+    I(tlbEntries)                                                         \
+    I(tlbMissPenalty)                                                     \
+    B(prefetcher)                                                         \
+    M(commitMode)                                                         \
+    I(srob.numBrCqs)                                                      \
+    I(srob.brCqEntries)                                                   \
+    I(srob.prCqEntries)                                                   \
+    I(srob.bitEntries)                                                    \
+    I(srob.cqtEntries)                                                    \
+    I(srob.citEntries)                                                    \
+    B(srob.enforceInstanceOrder)                                          \
+    B(earlyCommitLoads)                                                   \
+    B(attributeStalls)                                                    \
+    B(safetyChecks)                                                       \
+    B(shadowIndexCheck)                                                   \
+    B(eventTrace)                                                         \
+    U(eventTraceCapacity)
+
+/**
+ * One CoreConfig field bound to a live struct, for generic
+ * serialization, parsing, and per-field mutation in tests. Exactly the
+ * pointer matching `kind` is non-null.
+ */
+struct ConfigFieldRef
+{
+    const char *name; //!< dotted path, e.g. "srob.numBrCqs"
+    enum class Kind { Str, Int, Bool, U64, Mode } kind;
+    std::string *str = nullptr;
+    int *i = nullptr;
+    bool *b = nullptr;
+    size_t *u = nullptr;
+    CommitMode *mode = nullptr;
+};
+
+/** Every field of @p cfg, in NOREBA_CORE_CONFIG_FIELDS order. */
+std::vector<ConfigFieldRef> configFieldRefs(CoreConfig &cfg);
+
+/**
+ * Canonical serialization: one `path=value` line per field, in table
+ * order. Deterministic and locale-independent, so equal configs
+ * serialize to equal strings on every platform — the content half of
+ * the result store's content-addressed key.
+ */
+std::string serializeConfig(const CoreConfig &cfg);
+
+/**
+ * Parse a canonical serialization. Strict: every field must appear
+ * exactly once, in any order, with nothing unknown; returns false
+ * (leaving @p out unspecified) otherwise.
+ */
+bool deserializeConfig(const std::string &text, CoreConfig &out);
+
+/** FNV-1a fingerprint of serializeConfig(cfg). */
+uint64_t configFingerprint(const CoreConfig &cfg);
+
+/** Reverse of commitModeName(); false on an unknown name. */
+bool commitModeFromName(const std::string &name, CommitMode &out);
 
 /** Skylake-like core (Table 3: ROB 224, IQ 68, LQ/SQ 72/56, RF 168). */
 CoreConfig skylakeConfig();
