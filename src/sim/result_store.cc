@@ -163,7 +163,8 @@ resultPath(const std::string &workload, const CoreConfig &cfg,
 bool
 resultStoreEligible(const CoreConfig &cfg)
 {
-    return !cfg.eventTrace && !cfg.safetyChecks && !cfg.shadowIndexCheck;
+    return !cfg.eventTrace && !cfg.safetyChecks &&
+           !cfg.shadowIndexCheck && !cfg.shadowSchedulerCheck;
 }
 
 bool

@@ -122,6 +122,12 @@ struct CoreConfig
     /** Re-derive every PipelineIndex answer from a naive ROB scan each
      *  cycle and panic on divergence (differential testing only). */
     bool shadowIndexCheck = false;
+    /** Re-derive every wakeup-scheduler answer — ready-queue contents
+     *  and order, per-entry pending-source counts, the pending store
+     *  address-gen list, the SQ address index and each load's
+     *  blocked/forwarding verdict — from the naive IQ/SQ scans each
+     *  cycle and panic on divergence (differential testing only). */
+    bool shadowSchedulerCheck = false;
     /** Record pipeline events into an in-core EventLog ring. Emission
      *  never touches CoreStats, so enabling this leaves every counter
      *  bit-identical. Compiled out entirely under NOREBA_NO_EVENT_TRACE
@@ -203,6 +209,7 @@ struct CoreConfig
     B(attributeStalls)                                                    \
     B(safetyChecks)                                                       \
     B(shadowIndexCheck)                                                   \
+    B(shadowSchedulerCheck)                                               \
     B(eventTrace)                                                         \
     U(eventTraceCapacity)
 

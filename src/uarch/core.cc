@@ -39,13 +39,44 @@ memOverlap(const TraceRecord &a, const TraceRecord &b)
     return aLo < bHi && bLo < aHi;
 }
 
+/** SQ address-index granularity: one bucket per 64-byte chunk. */
+constexpr int SQ_CHUNK_SHIFT = 6;
+
+/** Insert into a dispatch-ordered vector, keeping it sorted by seq. */
+void
+insertBySeq(std::vector<InFlight *> &v, InFlight *p)
+{
+    auto it = std::lower_bound(v.begin(), v.end(), p,
+                               [](const InFlight *a, const InFlight *b) {
+                                   return a->seq < b->seq;
+                               });
+    v.insert(it, p);
+}
+
 } // namespace
+
+/** O(1) IQ removal: swap the last entry into the vacated slot. The IQ
+ *  vector is unordered — issue order lives in the ready queue — so
+ *  only the iqPos back-pointers need fixing up. */
+void
+Core::iqErase(InFlight *p)
+{
+    panic_if(p->iqPos < 0 || iq_[static_cast<size_t>(p->iqPos)] != p,
+             "IQ lost trace idx %d", p->idx);
+    InFlight *last = iq_.back();
+    iq_[static_cast<size_t>(p->iqPos)] = last;
+    last->iqPos = p->iqPos;
+    iq_.pop_back();
+    p->iqPos = -1;
+}
 
 Core::Core(const CoreConfig &cfg, TraceView trace,
            const std::vector<uint8_t> &misp)
     : cfg_(cfg), trace_(std::move(trace)), misp_(misp),
       policy_(makeCommitPolicy(cfg)), mem_(cfg),
       tlb_(cfg.tlbEntries, cfg.tlbMissPenalty),
+      divFreeAt_(static_cast<size_t>(std::max(0, cfg.numIntDiv)), 0),
+      fdivFreeAt_(static_cast<size_t>(std::max(0, cfg.numFpDiv)), 0),
       committed_(trace_.size(), 0)
 {
     panic_if(misp.size() != trace_.size(),
@@ -94,8 +125,14 @@ Core::alloc()
         p = &storage_.back();
     }
     uint64_t gen = p->gen;
+    // Keep the waiter vector's capacity across recycles: the slot is
+    // reset field-by-value, but re-heating the allocation every time
+    // would put malloc on the dispatch path.
+    std::vector<InFlight::Waiter> waiters = std::move(p->waiters);
+    waiters.clear();
     *p = InFlight{};
     p->gen = gen + 1;
+    p->waiters = std::move(waiters);
     return p;
 }
 
@@ -103,7 +140,17 @@ void
 Core::free(InFlight *p)
 {
     index_.onFree(p);
+    panic_if(p->inReadyQ || p->inAddrPending,
+             "freeing trace idx %d while still scheduled for issue",
+             p->idx);
     ++p->gen;
+    // Sources go ready not only by completion but by this gen bump
+    // (SrcRef::ready). The only live consumers of a squashed producer
+    // are committed-early zombies — everything uncommitted and younger
+    // is squashed with it (and freed first, so its waiter entries here
+    // are already stale). Deliver their wakeups now; a producer that
+    // completed has no waiters left.
+    wakeWaiters(p);
     freeList_.push_back(p);
 }
 
@@ -152,8 +199,10 @@ Core::commit(InFlight *p)
         mem_.access(rec.addrOrImm, true);
         ++stats_.dcacheAccesses;
         auto it = std::find(sq_.begin(), sq_.end(), p);
-        if (it != sq_.end())
+        if (it != sq_.end()) {
             sq_.erase(it);
+            sqIndexErase(p);
+        }
     }
     // Advance eagerly so "out of order" means "older work still
     // pending at the moment of commit", and so CIT reclamation and
@@ -244,16 +293,41 @@ Core::squashAfter(InFlight *b)
     index_.onSquash(b->idx);
 
     auto isSquashed = [b](InFlight *p) { return p->idx > b->idx; };
-    iq_.erase(std::remove_if(iq_.begin(), iq_.end(),
-                             [&](InFlight *p) {
-                                 return !p->committed && isSquashed(p);
-                             }),
-              iq_.end());
-    sq_.erase(std::remove_if(sq_.begin(), sq_.end(),
-                             [&](InFlight *p) {
-                                 return !p->committed && isSquashed(p);
-                             }),
-              sq_.end());
+    for (size_t i = 0; i < iq_.size();) {
+        InFlight *p = iq_[i];
+        if (p->committed || !isSquashed(p)) {
+            ++i;
+            continue;
+        }
+        iqErase(p); // swap-pop: re-examine slot i
+    }
+    // Scheduler rollback by suffix: the ready queue and the pending
+    // address-gen list mirror the IQ (committed-early zombies stay and
+    // still issue), the SQ index mirrors sq_ — which holds only
+    // uncommitted stores in ascending trace order, so the squashed
+    // entries are exactly its tail.
+    readyQ_.erase(std::remove_if(readyQ_.begin(), readyQ_.end(),
+                                 [&](InFlight *p) {
+                                     if (p->committed || !isSquashed(p))
+                                         return false;
+                                     p->inReadyQ = false;
+                                     return true;
+                                 }),
+                  readyQ_.end());
+    addrPending_.erase(std::remove_if(addrPending_.begin(),
+                                      addrPending_.end(),
+                                      [&](InFlight *p) {
+                                          if (p->committed ||
+                                              !isSquashed(p))
+                                              return false;
+                                          p->inAddrPending = false;
+                                          return true;
+                                      }),
+                       addrPending_.end());
+    while (!sq_.empty() && isSquashed(sq_.back())) {
+        sqIndexErase(sq_.back());
+        sq_.pop_back();
+    }
 
     policy_->onSquash(view_, b->idx);
 
@@ -276,6 +350,7 @@ Core::writebackStage()
         ++stats_.cdbBroadcasts;
         if (recHasDest(*p->rec))
             ++stats_.rfWrites;
+        wakeWaiters(p);
         if (p->isBranch && !p->resolved) {
             // Branches resolve even if a speculative policy committed
             // them early: the pipeline flush on a misprediction is
@@ -366,6 +441,29 @@ Core::commitStage()
 }
 
 bool
+Core::divUnitFree(const std::vector<Cycle> &units) const
+{
+    for (Cycle t : units)
+        if (t <= cycle_)
+            return true;
+    return false;
+}
+
+void
+Core::claimDivUnit(std::vector<Cycle> &units, int latency)
+{
+    // Unpipelined: the claimed unit is busy until the divide retires.
+    for (Cycle &t : units) {
+        if (t <= cycle_) {
+            t = cycle_ + static_cast<Cycle>(latency);
+            return;
+        }
+    }
+    panic("no free divider unit to claim at cycle %llu",
+          static_cast<unsigned long long>(cycle_));
+}
+
+bool
 Core::fuAvailable(FuClass cls)
 {
     int used = fuUsed_[static_cast<int>(cls)];
@@ -373,11 +471,11 @@ Core::fuAvailable(FuClass cls)
       case FuClass::IntAlu: return used < cfg_.numIntAlu;
       case FuClass::IntMul: return used < cfg_.numIntMul;
       case FuClass::IntDiv:
-        return used < cfg_.numIntDiv && divFreeAt_ <= cycle_;
+        return used < cfg_.numIntDiv && divUnitFree(divFreeAt_);
       case FuClass::FpAlu: return used < cfg_.numFpAlu;
       case FuClass::FpMul: return used < cfg_.numFpMul;
       case FuClass::FpDiv:
-        return used < cfg_.numFpDiv && fdivFreeAt_ <= cycle_;
+        return used < cfg_.numFpDiv && divUnitFree(fdivFreeAt_);
       case FuClass::MemRead: return used < cfg_.numLoadPorts;
       case FuClass::MemWrite: return used < cfg_.numStorePorts;
       case FuClass::Branch: return used < cfg_.numBranchUnits;
@@ -390,9 +488,9 @@ Core::consumeFu(FuClass cls, int latency)
 {
     ++fuUsed_[static_cast<int>(cls)];
     if (cls == FuClass::IntDiv)
-        divFreeAt_ = cycle_ + static_cast<Cycle>(latency);
+        claimDivUnit(divFreeAt_, latency);
     else if (cls == FuClass::FpDiv)
-        fdivFreeAt_ = cycle_ + static_cast<Cycle>(latency);
+        claimDivUnit(fdivFreeAt_, latency);
 }
 
 int
@@ -400,17 +498,35 @@ Core::loadLatency(InFlight *p, bool &blocked)
 {
     const TraceRecord &rec = *p->rec;
     bool forward = false;
-    for (InFlight *s : sq_) {
-        if (s->idx >= p->idx)
-            break; // program order: the rest are younger
-        if (!memOverlap(*s->rec, rec))
-            continue;
-        if (!s->completed) {
-            blocked = true; // wait for the producing store's data
-            return 0;
+    // Probe only the SQ-index buckets the load's byte range can touch
+    // (O(overlap candidates), not O(|SQ|)). Bucket membership is
+    // necessary but not sufficient: each candidate still takes the
+    // exact age and byte-overlap tests the historical full-SQ walk
+    // applied.
+    if (rec.memSize > 0) {
+        const uint64_t lo = rec.addrOrImm;
+        const uint64_t chunkLo = lo >> SQ_CHUNK_SHIFT;
+        const uint64_t chunkHi = (lo + rec.memSize - 1) >> SQ_CHUNK_SHIFT;
+        for (uint64_t c = chunkLo; c <= chunkHi && !blocked; ++c) {
+            auto it = sqIndex_.find(c);
+            if (it == sqIndex_.end())
+                continue;
+            for (InFlight *s : it->second) {
+                ++stats_.sqProbes;
+                if (s->idx >= p->idx || !memOverlap(*s->rec, rec))
+                    continue;
+                if (!s->completed) {
+                    blocked = true; // wait for the producing store's data
+                    break;
+                }
+                forward = true;
+            }
         }
-        forward = true;
     }
+    if (cfg_.shadowSchedulerCheck)
+        shadowVerifyForwarding(p, blocked, forward);
+    if (blocked)
+        return 0;
     startTlbCheck(p);
     int tlbLat = static_cast<int>(p->tlbDoneAt - cycle_);
     if (forward)
@@ -423,6 +539,215 @@ Core::loadLatency(InFlight *p, bool &blocked)
 }
 
 void
+Core::registerSrcWaiters(InFlight *p)
+{
+    // Count the sources that are not ready at rename and park on each
+    // one's producer. Readiness is monotone for a live consumer (gen
+    // only moves by squash, completed never unsets), so each parked
+    // source is woken exactly once — when its producer writes back.
+    p->pendingSrcs = 0;
+    for (int i = 0; i < p->numSrcs; ++i) {
+        const InFlight::SrcRef &s = p->srcs[i];
+        if (s.ready())
+            continue;
+        ++p->pendingSrcs;
+        s.p->waiters.push_back({p, p->gen});
+    }
+    if (p->pendingSrcs == 0)
+        readyInsert(p);
+}
+
+void
+Core::wakeWaiters(InFlight *p)
+{
+    if (p->waiters.empty())
+        return;
+    for (const InFlight::Waiter &w : p->waiters) {
+        InFlight *c = w.p;
+        if (c->gen != w.gen)
+            continue; // consumer squashed since it parked here
+        ++stats_.wakeups;
+        if (--c->pendingSrcs == 0)
+            readyInsert(c);
+        // Store address generation waits only for the address operand,
+        // not the data — kick the TLB check as soon as it arrives.
+        if (!c->inAddrPending && !c->tlbChecked &&
+            isStore(c->rec->op) && c->addrReady())
+            addrPendingInsert(c);
+    }
+    p->waiters.clear();
+}
+
+void
+Core::readyInsert(InFlight *p)
+{
+    panic_if(p->inReadyQ || p->pendingSrcs != 0,
+             "bad ready-queue insert for trace idx %d", p->idx);
+    p->inReadyQ = true;
+    insertBySeq(readyQ_, p);
+}
+
+void
+Core::addrPendingInsert(InFlight *p)
+{
+    p->inAddrPending = true;
+    insertBySeq(addrPending_, p);
+}
+
+void
+Core::sqIndexInsert(InFlight *p)
+{
+    const TraceRecord &rec = *p->rec;
+    if (rec.memSize == 0)
+        return; // an empty byte range can never overlap a load
+    const uint64_t chunkLo = rec.addrOrImm >> SQ_CHUNK_SHIFT;
+    const uint64_t chunkHi =
+        (rec.addrOrImm + rec.memSize - 1) >> SQ_CHUNK_SHIFT;
+    for (uint64_t c = chunkLo; c <= chunkHi; ++c)
+        sqIndex_[c].push_back(p);
+}
+
+void
+Core::sqIndexErase(InFlight *p)
+{
+    const TraceRecord &rec = *p->rec;
+    if (rec.memSize == 0)
+        return;
+    const uint64_t chunkLo = rec.addrOrImm >> SQ_CHUNK_SHIFT;
+    const uint64_t chunkHi =
+        (rec.addrOrImm + rec.memSize - 1) >> SQ_CHUNK_SHIFT;
+    for (uint64_t c = chunkLo; c <= chunkHi; ++c) {
+        auto it = sqIndex_.find(c);
+        panic_if(it == sqIndex_.end(),
+                 "SQ index lost the bucket for trace idx %d", p->idx);
+        std::vector<InFlight *> &bucket = it->second;
+        auto e = std::find(bucket.begin(), bucket.end(), p);
+        panic_if(e == bucket.end(),
+                 "SQ index lost the entry for trace idx %d", p->idx);
+        // The forwarding probe is order-independent, so swap-and-pop
+        // (still deterministic) beats an order-preserving erase.
+        *e = bucket.back();
+        bucket.pop_back();
+        if (bucket.empty())
+            sqIndex_.erase(it);
+    }
+}
+
+void
+Core::shadowSchedulerVerify() const
+{
+    // Re-derive the ready queue from the naive full-IQ scan the
+    // scheduler replaced: at end of cycle, the issuable IQ entries, in
+    // seq order, must be exactly the ready queue. (The live IQ vector
+    // is unordered — swap-pop removal — so scan a sorted copy, which
+    // is also what the historical age-ordered IQ looked like.)
+    std::vector<InFlight *> iqSorted = iq_;
+    std::sort(iqSorted.begin(), iqSorted.end(),
+              [](const InFlight *a, const InFlight *b) {
+                  return a->seq < b->seq;
+              });
+    size_t nReady = 0;
+    for (InFlight *p : iqSorted) {
+        if (!p->srcsReady())
+            continue;
+        panic_if(nReady >= readyQ_.size() || readyQ_[nReady] != p ||
+                     !p->inReadyQ,
+                 "shadow scheduler: IQ entry trace idx %d issuable but "
+                 "missing from the ready queue (cycle %llu)",
+                 p->idx, static_cast<unsigned long long>(cycle_));
+        ++nReady;
+    }
+    panic_if(nReady != readyQ_.size(),
+             "shadow scheduler: ready queue holds %zu entries, naive "
+             "scan found %zu (cycle %llu)",
+             readyQ_.size(), nReady,
+             static_cast<unsigned long long>(cycle_));
+
+    // The pending address-gen list must hold exactly the stores the
+    // historical pre-issue sweep would kick: address-ready, TLB check
+    // not yet started. (The list may also briefly hold entries whose
+    // check started this cycle only after the list drained — there are
+    // none at end of cycle, because draining clears it.)
+    size_t nPend = 0;
+    for (InFlight *p : iqSorted) {
+        if (!isStore(p->rec->op) || p->tlbChecked || !p->addrReady())
+            continue;
+        panic_if(nPend >= addrPending_.size() ||
+                     addrPending_[nPend] != p || !p->inAddrPending,
+                 "shadow scheduler: store trace idx %d address-ready "
+                 "but missing from the pending list (cycle %llu)",
+                 p->idx, static_cast<unsigned long long>(cycle_));
+        ++nPend;
+    }
+    panic_if(nPend != addrPending_.size(),
+             "shadow scheduler: addr-pending list holds %zu entries, "
+             "naive scan found %zu (cycle %llu)",
+             addrPending_.size(), nPend,
+             static_cast<unsigned long long>(cycle_));
+
+    // The SQ address index must cover sq_ exactly: every in-flight
+    // store in every chunk its byte range touches, and nothing else.
+    size_t indexed = 0;
+    for (const auto &kv : sqIndex_) {
+        panic_if(kv.second.empty(),
+                 "shadow scheduler: empty SQ-index bucket survived");
+        for (InFlight *s : kv.second) {
+            ++indexed;
+            const TraceRecord &rec = *s->rec;
+            panic_if(std::find(sq_.begin(), sq_.end(), s) == sq_.end(),
+                     "shadow scheduler: SQ index holds trace idx %d "
+                     "which is not in the SQ", s->idx);
+            panic_if(rec.memSize == 0 ||
+                         kv.first < (rec.addrOrImm >> SQ_CHUNK_SHIFT) ||
+                         kv.first > ((rec.addrOrImm + rec.memSize - 1) >>
+                                     SQ_CHUNK_SHIFT),
+                     "shadow scheduler: trace idx %d indexed under a "
+                     "chunk outside its byte range", s->idx);
+        }
+    }
+    size_t expected = 0;
+    for (InFlight *s : sq_) {
+        const TraceRecord &rec = *s->rec;
+        if (rec.memSize == 0)
+            continue;
+        expected += static_cast<size_t>(
+            ((rec.addrOrImm + rec.memSize - 1) >> SQ_CHUNK_SHIFT) -
+            (rec.addrOrImm >> SQ_CHUNK_SHIFT) + 1);
+    }
+    panic_if(indexed != expected,
+             "shadow scheduler: SQ index holds %zu entries, expected "
+             "%zu (cycle %llu)",
+             indexed, expected, static_cast<unsigned long long>(cycle_));
+}
+
+void
+Core::shadowVerifyForwarding(const InFlight *p, bool blocked,
+                             bool forward) const
+{
+    // Replay the historical full-SQ walk and compare its verdict with
+    // the chunk-index probe's.
+    bool naiveBlocked = false, naiveForward = false;
+    for (InFlight *s : sq_) {
+        if (s->idx >= p->idx)
+            break; // sq_ is ascending in trace order
+        if (!memOverlap(*s->rec, *p->rec))
+            continue;
+        if (!s->completed) {
+            naiveBlocked = true;
+            break;
+        }
+        naiveForward = true;
+    }
+    panic_if(naiveBlocked != blocked ||
+                 (!blocked && naiveForward != forward),
+             "shadow scheduler: load trace idx %d forwarding verdict "
+             "diverged (index blocked=%d forward=%d, naive blocked=%d "
+             "forward=%d)",
+             p->idx, blocked ? 1 : 0, forward ? 1 : 0,
+             naiveBlocked ? 1 : 0, naiveForward ? 1 : 0);
+}
+
+void
 Core::issueStage()
 {
     std::fill(std::begin(fuUsed_), std::end(fuUsed_), 0);
@@ -430,17 +755,28 @@ Core::issueStage()
 
     // Store address generation is decoupled from store data: the
     // page-table check (which gates NOREBA steering and the C2 memory
-    // barrier) needs only the address operand.
-    for (InFlight *p : iq_) {
-        if (isStore(p->rec->op) && !p->tlbChecked && p->addrReady())
+    // barrier) needs only the address operand. Stores land on the
+    // pending list the moment that operand writes back (or at dispatch
+    // when it is already available), in dispatch order — the same
+    // stores, in the same order, the historical full-IQ sweep found.
+    for (InFlight *p : addrPending_) {
+        p->inAddrPending = false;
+        if (!p->tlbChecked)
             startTlbCheck(p);
     }
+    addrPending_.clear();
 
+    stats_.readyQueueOccupancy += readyQ_.size();
+    stats_.iqScansAvoided += iq_.size() - readyQ_.size();
+
+    // Pop ready entries in age order. Entries that stay — FU busy,
+    // issue width exhausted, or a load blocked on an incomplete older
+    // store's data — remain queued and retry next cycle.
     size_t out = 0;
-    for (size_t i = 0; i < iq_.size(); ++i) {
-        InFlight *p = iq_[i];
+    for (size_t i = 0; i < readyQ_.size(); ++i) {
+        InFlight *p = readyQ_[i];
         bool keep = true;
-        if (budget > 0 && p->srcsReady()) {
+        if (budget > 0) {
             const TraceRecord &rec = *p->rec;
             FuClass cls = fuClass(rec.op);
             if (fuAvailable(cls)) {
@@ -490,10 +826,14 @@ Core::issueStage()
                 }
             }
         }
-        if (keep)
-            iq_[out++] = p;
+        if (keep) {
+            readyQ_[out++] = p;
+        } else {
+            p->inReadyQ = false;
+            iqErase(p);
+        }
     }
-    iq_.resize(out);
+    readyQ_.resize(out);
 }
 
 void
@@ -555,15 +895,20 @@ Core::dispatchStage()
             p->completed = true; // NOP/HALT: nothing to execute
         } else {
             iq_.push_back(p);
+            p->iqPos = static_cast<int>(iq_.size()) - 1;
             p->inIq = true;
             ++iqUsed_;
             ++stats_.iqWrites;
+            registerSrcWaiters(p);
         }
         if (isLoad(rec.op))
             ++lqUsed_;
         else if (isStore(rec.op)) {
             ++sqUsed_;
             sq_.push_back(p);
+            sqIndexInsert(p);
+            if (p->addrReady())
+                addrPendingInsert(p);
         }
 
         if (cfg_.attributeStalls) {
@@ -688,6 +1033,8 @@ Core::run()
 
         if (cfg_.shadowIndexCheck)
             index_.shadowVerify(rob_, cycle_, trace_);
+        if (cfg_.shadowSchedulerCheck)
+            shadowSchedulerVerify();
 
         if (cursor_ != lastCursor) {
             lastCursor = cursor_;

@@ -7,6 +7,17 @@
  * writeback (wakeup, branch resolution, misprediction squash) and a
  * pluggable commit stage (see uarch/commit/).
  *
+ * Issue is wakeup-driven, not polling: every dispatched instruction
+ * counts its unready sources and parks on each producer's waiter list;
+ * the producer's writeback delivers the wakeups and the instruction
+ * enters an age-ordered ready queue exactly when its last operand
+ * arrives. issueStage pops ready entries instead of re-checking
+ * srcsReady() on the whole IQ, store address-gen TLB kickoffs come off
+ * a pending list instead of a full-IQ sweep, and loads probe an
+ * address-chunked SQ index instead of walking every in-flight store.
+ * CoreConfig::shadowSchedulerCheck re-derives all of it from the naive
+ * scans each cycle and panics on divergence.
+ *
  * Commit policies never touch the Core class: they consume a
  * PipelineView (uarch/pipeline_view.h), a narrow facade whose ordering
  * queries are answered by the incrementally maintained PipelineIndex.
@@ -30,6 +41,7 @@
 #include <functional>
 #include <memory>
 #include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "trace/event_log.h"
@@ -112,6 +124,37 @@ class Core
     int loadLatency(InFlight *p, bool &blocked);
     bool fuAvailable(FuClass cls);
     void consumeFu(FuClass cls, int latency);
+    bool divUnitFree(const std::vector<Cycle> &units) const;
+    void claimDivUnit(std::vector<Cycle> &units, int latency);
+
+    /** @name Wakeup-driven scheduler (see DESIGN.md §12) @{ */
+
+    /** O(1) removal from the unordered IQ vector (swap-pop). */
+    void iqErase(InFlight *p);
+
+    /** Park @p p on each unready producer; queue it if none. */
+    void registerSrcWaiters(InFlight *p);
+
+    /** Deliver @p p's completion to its registered consumers. */
+    void wakeWaiters(InFlight *p);
+
+    /** Enter the age-ordered ready queue. */
+    void readyInsert(InFlight *p);
+
+    /** The store became address-ready: queue its TLB kickoff. */
+    void addrPendingInsert(InFlight *p);
+
+    /** Index / unindex an in-flight store by address chunk. */
+    void sqIndexInsert(InFlight *p);
+    void sqIndexErase(InFlight *p);
+
+    /** Differential check: recompute ready/pending/forwarding state
+     *  from the naive IQ/SQ scans and panic on divergence
+     *  (CoreConfig::shadowSchedulerCheck). */
+    void shadowSchedulerVerify() const;
+    void shadowVerifyForwarding(const InFlight *p, bool blocked,
+                                bool forward) const;
+    /** @} */
 
     const CoreConfig cfg_;
     const TraceView trace_;
@@ -137,6 +180,8 @@ class Core
 
     /** @name Window @{ */
     std::deque<InFlight *> rob_; //!< master order; may hold committed
+    /** Issue-queue residents, UNORDERED (O(1) swap-pop removal via
+     *  InFlight::iqPos); age order lives in readyQ_. */
     std::vector<InFlight *> iq_;
     std::deque<InFlight *> sq_; //!< in-flight stores (forwarding)
     int windowUsed_ = 0;
@@ -164,8 +209,29 @@ class Core
         events_;
     /** Per-cycle FU accounting: counts used this cycle per class. */
     int fuUsed_[static_cast<int>(FuClass::NUM_CLASSES)] = {};
-    Cycle divFreeAt_ = 0;   //!< unpipelined integer divider
-    Cycle fdivFreeAt_ = 0;  //!< unpipelined FP divider
+    /** Unpipelined dividers: one busy-until timestamp per unit. */
+    std::vector<Cycle> divFreeAt_;
+    std::vector<Cycle> fdivFreeAt_;
+    /** @} */
+
+    /** @name Wakeup-driven scheduler @{ */
+
+    /** Issuable IQ entries (every source ready), in dispatch (seq)
+     *  order — exactly the entries the historical per-cycle IQ scan
+     *  would have issued from, discovered by wakeup instead. */
+    std::vector<InFlight *> readyQ_;
+
+    /** Address-ready stores awaiting their decoupled address-gen TLB
+     *  kickoff, in dispatch order (replaces the full-IQ pre-scan). */
+    std::vector<InFlight *> addrPending_;
+
+    /**
+     * In-flight (uncommitted) stores bucketed by address chunk
+     * (SQ_CHUNK_BYTES-aligned ranges), so a load probes only stores
+     * that can possibly overlap it instead of walking the whole SQ.
+     * Mirrors sq_ exactly: insert at dispatch, erase at commit/squash.
+     */
+    std::unordered_map<uint64_t, std::vector<InFlight *>> sqIndex_;
     /** @} */
 
     /** @name Commit tracking @{ */

@@ -8,6 +8,7 @@
 #define NOREBA_UARCH_INFLIGHT_H
 
 #include <cstdint>
+#include <vector>
 
 #include "interp/trace.h"
 
@@ -82,6 +83,24 @@ struct InFlight
     InFlight *frontNext = nullptr;
     bool inFrontier = false;
     bool inRob = false; //!< currently in the master ROB deque
+    /** @} */
+
+    /** @name Wakeup-scheduler bookkeeping (Core-internal) @{ */
+
+    /** A consumer parked on this producer until it writes back. */
+    struct Waiter
+    {
+        InFlight *p = nullptr;
+        uint64_t gen = 0; //!< consumer incarnation (stale after squash)
+    };
+
+    /** Consumers to wake when this instruction completes. The pool
+     *  preserves the vector's capacity across recycles (Core::alloc). */
+    std::vector<Waiter> waiters;
+    int pendingSrcs = 0;   //!< not-yet-ready sources; 0 == issuable
+    int iqPos = -1;        //!< slot in the (unordered) IQ vector
+    bool inReadyQ = false; //!< member of the age-ordered ready queue
+    bool inAddrPending = false; //!< store awaiting its addr-gen TLB kick
     /** @} */
 
     bool

@@ -2,7 +2,8 @@
  * @file
  * Diff two BENCH_*.json sweep records counter-by-counter.
  *
- *   noreba-stats-diff [--all] [--expect-equal] A.json B.json
+ *   noreba-stats-diff [--all] [--expect-equal] [--ignore a,b,...]
+ *                     A.json B.json
  *
  * Records are matched by identity (workload, config name, commit mode,
  * trace length, annotate, stripSetups) with an index fallback, and
@@ -11,6 +12,12 @@
  * --expect-equal the exit status is 1 when any matched record differs
  * (or any record is unmatched) — CI uses this to assert that an
  * event-traced run is bit-identical to an untraced one.
+ *
+ * --ignore takes a comma-separated list of counter names to exclude
+ * from the comparison entirely (present-but-different and
+ * present-on-one-side-only both). Use it to compare runs across
+ * simulator versions that added scheduler-internal counters (wakeups,
+ * readyQueueOccupancy, sqProbes, iqScansAvoided) to the JSON schema.
  */
 
 #include <cinttypes>
@@ -19,6 +26,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -33,6 +41,7 @@ struct Options
 {
     bool all = false;
     bool expectEqual = false;
+    std::set<std::string> ignored;
     std::string pathA;
     std::string pathB;
 };
@@ -42,7 +51,7 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: noreba-stats-diff [--all] [--expect-equal] "
-                 "A.json B.json\n");
+                 "[--ignore a,b,...] A.json B.json\n");
     std::exit(2);
 }
 
@@ -150,6 +159,8 @@ diffRecord(const std::string &label, const JsonValue &a,
     int differing = 0;
     for (size_t i = 0; i < sa->size(); ++i) {
         const std::string &name = sa->keyAt(i);
+        if (opt.ignored.count(name))
+            continue;
         const JsonValue &va = sa->at(i);
         const JsonValue *vb = sb->find(name);
         if (!vb) {
@@ -184,6 +195,8 @@ diffRecord(const std::string &label, const JsonValue &a,
     }
     for (size_t i = 0; i < sb->size(); ++i) {
         const std::string &name = sb->keyAt(i);
+        if (opt.ignored.count(name))
+            continue;
         if (!sa->find(name)) {
             header();
             std::printf("  %-24s (absent) -> %s\n", name.c_str(),
@@ -209,7 +222,20 @@ main(int argc, char **argv)
             opt.all = true;
         else if (std::strcmp(argv[i], "--expect-equal") == 0)
             opt.expectEqual = true;
-        else if (argv[i][0] == '-')
+        else if (std::strcmp(argv[i], "--ignore") == 0) {
+            if (++i >= argc)
+                usage();
+            std::string list = argv[i];
+            size_t pos = 0;
+            while (pos <= list.size()) {
+                size_t comma = list.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                if (comma > pos)
+                    opt.ignored.insert(list.substr(pos, comma - pos));
+                pos = comma + 1;
+            }
+        } else if (argv[i][0] == '-')
             usage();
         else
             positional.push_back(argv[i]);
