@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "analysis/verifier.h"
+#include "ir/dataflow.h"
 #include "isa/setup_encoding.h"
 
 namespace noreba {
@@ -357,9 +358,6 @@ DomSets::DomSets(const Function &fn, bool post)
                 (static_cast<size_t>(i) & 63)) &
                1;
     };
-    const uint64_t tailMask =
-        total % 64 ? (uint64_t{1} << (total % 64)) - 1 : ~uint64_t{0};
-
     // Walk-graph edges: the CFG rooted at a virtual entry for
     // dominators; the reversed CFG rooted at a virtual exit (fed by
     // every HALT block) for post-dominators.
@@ -402,37 +400,30 @@ DomSets::DomSets(const Function &fn, bool post)
         }
     }
 
-    // Maximal-fixpoint set dataflow: dom(b) = {b} ∪ ⋂ dom(pred).
-    // Unreachable nodes keep the full set during iteration (identity
-    // for the intersection) and are reset to {self} afterwards, which
-    // matches DominatorTree's "only self" answer for them.
-    for (int b = 0; b < total; ++b) {
-        for (size_t w = 0; w < words_; ++w)
-            row(b)[w] = ~uint64_t{0};
-        row(b)[words_ - 1] &= tailMask;
-    }
-    std::fill(row(root), row(root) + words_, 0);
-    row(root)[static_cast<size_t>(root) >> 6] |=
-        uint64_t{1} << (root & 63);
-
-    std::vector<uint64_t> tmp(words_);
-    bool changed = true;
-    while (changed) {
-        changed = false;
-        for (int b = 0; b < n_; ++b) {
-            if (!reach[static_cast<size_t>(b)])
-                continue;
-            std::fill(tmp.begin(), tmp.end(), ~uint64_t{0});
-            tmp[words_ - 1] &= tailMask;
-            for (int p : walkPreds[static_cast<size_t>(b)])
-                for (size_t w = 0; w < words_; ++w)
-                    tmp[w] &= row(p)[w];
-            tmp[static_cast<size_t>(b) >> 6] |= uint64_t{1} << (b & 63);
-            if (!std::equal(tmp.begin(), tmp.end(), row(b))) {
-                std::copy(tmp.begin(), tmp.end(), row(b));
-                changed = true;
-            }
-        }
+    // Maximal-fixpoint set dataflow: dom(b) = {b} ∪ ⋂ dom(pred),
+    // solved by the generic engine (ir/dataflow.h) over the walk
+    // graph with the virtual root as a pinned boundary node. The
+    // intersect meet starts every other node at the full set, so
+    // unreachable nodes keep it through the solve (the meet identity,
+    // exactly as the old bespoke loop left them) and are reset to
+    // {self} afterwards, matching DominatorTree's "only self" answer.
+    {
+        DataflowGraph g(total);
+        for (int b = 0; b < total; ++b)
+            for (int s : walkSuccs[static_cast<size_t>(b)])
+                g.addEdge(b, s);
+        GenKillProblem p;
+        p.direction = Direction::Forward;
+        p.meet = Meet::Intersect;
+        p.numBits = static_cast<size_t>(total);
+        p.resize(total);
+        for (int b = 0; b < total; ++b)
+            p.setGen(b, static_cast<size_t>(b));
+        p.boundary.push_back(root);
+        DataflowResult solved = solveDataflow(g, p);
+        for (int b = 0; b < total; ++b)
+            std::copy(solved.outRow(b), solved.outRow(b) + words_,
+                      row(b));
     }
     for (int b = 0; b < n_; ++b) {
         if (reach[static_cast<size_t>(b)])
@@ -482,45 +473,32 @@ DomSets::dominates(int a, int b) const
 
 namespace {
 
-/** One decoded setDependency region. */
-struct Region
-{
-    int bb = -1, setIdx = -1;
-    int id = 0, num = 0;
-    bool sens = false, strict = false;
-    std::vector<int> covered; //!< global indices of covered real insts
-};
-
-/** One decoded branch site. */
-struct Branch
-{
-    int bb = -1, instIdx = -1, gi = -1;
-    int markId = 0; //!< armed compiler ID (0 = unmarked)
-};
+using Region = DependenceModel::Region;
+using Branch = DependenceModel::Branch;
 
 /**
- * Rule evaluation over the decoded annotation and recomputed
- * dependences: abstract BIT interpretation, guard-chain coverage,
- * freshness, and order sensitivity.
+ * Rule evaluation over the prebuilt dependence model: guard-chain
+ * coverage, freshness, and order sensitivity. All dataflow (BIT
+ * interpretation, chain cover) lives in buildDependenceModel().
  */
 bool
 runChecks(const Function &fn, Diagnostics &diag, int errBefore,
-          const InstIndex &gidx, const DomSets &dom,
-          const DomSets &pdom, const std::vector<bool> &reachBlk,
-          const std::vector<Region> &regions,
-          const std::vector<Branch> &branches,
-          const std::vector<int> &regionOfGi,
-          const std::vector<int> &branchAtGi,
-          const std::vector<std::vector<int>> &depSet,
-          const std::vector<BitVec> &crossTaint,
-          const CheckOptions &opts)
+          const DependenceModel &model, const CheckOptions &opts)
 {
     const int nblocks = static_cast<int>(fn.numBlocks());
-    const int nbranches = static_cast<int>(branches.size());
-    // Bit nbranches stands for UNSET: "no arming executed yet on this
-    // path", which legitimately commits without waiting (the first
-    // iteration of a loop whose guard post-dominates the region).
-    const size_t UNSET = static_cast<size_t>(nbranches);
+    const int nbranches = static_cast<int>(model.branches.size());
+    const DomSets &dom = model.dom;
+    const DomSets &pdom = model.pdom;
+    const std::vector<bool> &reachBlk = model.reachBlk;
+    const std::vector<Region> &regions = model.regions;
+    const std::vector<Branch> &branches = model.branches;
+    const std::vector<int> &regionOfGi = model.regionOfGi;
+    const std::vector<int> &branchAtGi = model.branchAtGi;
+    const std::vector<std::vector<int>> &depSet = model.depSet;
+    const std::vector<std::vector<int>> &resMembers = model.resMembers;
+    const std::vector<std::vector<int>> &chainSucc = model.chainSucc;
+    const std::vector<bool> &used = model.usedBranch;
+    const std::vector<bool> &armedAnywhere = model.armedAnywhere;
 
     auto brName = [&](int b) {
         const Branch &br = branches[static_cast<size_t>(b)];
@@ -534,161 +512,6 @@ runChecks(const Function &fn, Diagnostics &diag, int errBefore,
         int db = branches[static_cast<size_t>(b)].bb;
         return dom.dominates(db, blk) || pdom.dominates(db, blk);
     };
-
-    //
-    // Abstract BIT: forward may-dataflow mapping each compiler ID to
-    // the static branches whose arming can be the latest one. Armings
-    // happen at marked branch sites (terminators after the verifier's
-    // placement rules, but evaluated positionally for robustness).
-    //
-    auto applyArmings = [&](int blk, int uptoIdx,
-                            std::vector<BitVec> &st) {
-        const auto &bb = fn.block(blk);
-        int stop = uptoIdx < 0 ? static_cast<int>(bb.insts.size())
-                               : uptoIdx;
-        for (int i = 0; i < stop; ++i) {
-            int b = branchAtGi[static_cast<size_t>(gidx.at(blk, i))];
-            if (b < 0)
-                continue;
-            int id = branches[static_cast<size_t>(b)].markId;
-            if (id <= 0 || id >= NUM_BRANCH_IDS)
-                continue;
-            st[static_cast<size_t>(id)].clearAll();
-            st[static_cast<size_t>(id)].set(static_cast<size_t>(b));
-        }
-    };
-
-    std::vector<std::vector<BitVec>> bitIn(
-        static_cast<size_t>(nblocks),
-        std::vector<BitVec>(
-            NUM_BRANCH_IDS,
-            BitVec(static_cast<size_t>(nbranches) + 1)));
-    for (int id = 1; id < NUM_BRANCH_IDS; ++id)
-        bitIn[static_cast<size_t>(fn.entry())][static_cast<size_t>(id)]
-            .set(UNSET);
-    bool flow = true;
-    while (flow) {
-        flow = false;
-        for (int blk = 0; blk < nblocks; ++blk) {
-            if (!reachBlk[static_cast<size_t>(blk)])
-                continue;
-            std::vector<BitVec> out = bitIn[static_cast<size_t>(blk)];
-            applyArmings(blk, -1, out);
-            for (int s : fn.block(blk).succs)
-                for (int id = 1; id < NUM_BRANCH_IDS; ++id)
-                    flow = bitIn[static_cast<size_t>(s)]
-                               [static_cast<size_t>(id)]
-                                   .orWith(
-                                       out[static_cast<size_t>(id)]) ||
-                           flow;
-        }
-    }
-
-    // Per-region resolution set: the BIT state the region's
-    // setDependency observes.
-    const int nregions = static_cast<int>(regions.size());
-    std::vector<std::vector<int>> resMembers(
-        static_cast<size_t>(nregions));
-    for (int r = 0; r < nregions; ++r) {
-        const Region &reg = regions[static_cast<size_t>(r)];
-        if (!reachBlk[static_cast<size_t>(reg.bb)] || reg.id <= 0)
-            continue;
-        std::vector<BitVec> st = bitIn[static_cast<size_t>(reg.bb)];
-        applyArmings(reg.bb, reg.setIdx, st);
-        for (int b = 0; b < nbranches; ++b)
-            if (st[static_cast<size_t>(reg.id)].test(
-                    static_cast<size_t>(b)))
-                resMembers[static_cast<size_t>(r)].push_back(b);
-    }
-
-    std::vector<bool> armedAnywhere(NUM_BRANCH_IDS, false);
-    for (const Branch &br : branches)
-        if (br.markId > 0 && br.markId < NUM_BRANCH_IDS &&
-            reachBlk[static_cast<size_t>(br.bb)])
-            armedAnywhere[static_cast<size_t>(br.markId)] = true;
-
-    //
-    // Guard chains: a branch's chain successors are the branches armed
-    // with its covering region's ID — the *marking intent*, not the
-    // BIT resolution. The two differ when an arming cannot flow to the
-    // region (the guard is then permanently unset there), which the
-    // commit conditions tolerate: a dependence that never executed has
-    // nothing to wait for, so an always-unset link is vacuously
-    // covered, not broken. A strict region covers everything (full
-    // in-order commit); ID 0 or no region ends the chain. cover[] is
-    // the least fixpoint of
-    //   cover(b) = {b} ∪ ⋂_{c ∈ succ(b)} cover(c)
-    // — must-coverage across ID-reuse ambiguity, cycle-tolerant like
-    // the dynamic chains (every edge steps to an older instance).
-    //
-    std::vector<std::vector<int>> armedWith(NUM_BRANCH_IDS);
-    for (int b = 0; b < nbranches; ++b) {
-        const Branch &br = branches[static_cast<size_t>(b)];
-        if (br.markId > 0 && br.markId < NUM_BRANCH_IDS &&
-            reachBlk[static_cast<size_t>(br.bb)])
-            armedWith[static_cast<size_t>(br.markId)].push_back(b);
-    }
-    std::vector<std::vector<int>> chainSucc(
-        static_cast<size_t>(nbranches));
-    std::vector<bool> universal(static_cast<size_t>(nbranches), false);
-    for (int b = 0; b < nbranches; ++b) {
-        int r = regionOfGi[static_cast<size_t>(
-            branches[static_cast<size_t>(b)].gi)];
-        if (r < 0)
-            continue;
-        const Region &reg = regions[static_cast<size_t>(r)];
-        if (reg.strict)
-            universal[static_cast<size_t>(b)] = true;
-        else if (reg.id > 0)
-            chainSucc[static_cast<size_t>(b)] =
-                armedWith[static_cast<size_t>(reg.id)];
-    }
-    std::vector<BitVec> cover(
-        static_cast<size_t>(nbranches),
-        BitVec(static_cast<size_t>(std::max(nbranches, 1))));
-    for (int b = 0; b < nbranches; ++b) {
-        if (universal[static_cast<size_t>(b)])
-            cover[static_cast<size_t>(b)].setAll();
-        else
-            cover[static_cast<size_t>(b)].set(static_cast<size_t>(b));
-    }
-    bool growing = true;
-    while (growing) {
-        growing = false;
-        for (int b = 0; b < nbranches; ++b) {
-            if (universal[static_cast<size_t>(b)] ||
-                chainSucc[static_cast<size_t>(b)].empty())
-                continue;
-            BitVec next(static_cast<size_t>(std::max(nbranches, 1)));
-            next.setAll();
-            for (int c : chainSucc[static_cast<size_t>(b)])
-                next.andWith(cover[static_cast<size_t>(c)]);
-            next.set(static_cast<size_t>(b));
-            growing =
-                cover[static_cast<size_t>(b)].orWith(next) || growing;
-        }
-    }
-
-    // Branches actually reachable through some region's chain.
-    std::vector<bool> used(static_cast<size_t>(nbranches), false);
-    {
-        std::vector<int> stack;
-        for (int r = 0; r < nregions; ++r)
-            for (int b : resMembers[static_cast<size_t>(r)])
-                if (!used[static_cast<size_t>(b)]) {
-                    used[static_cast<size_t>(b)] = true;
-                    stack.push_back(b);
-                }
-        while (!stack.empty()) {
-            int b = stack.back();
-            stack.pop_back();
-            for (int c : chainSucc[static_cast<size_t>(b)])
-                if (!used[static_cast<size_t>(c)]) {
-                    used[static_cast<size_t>(c)] = true;
-                    stack.push_back(c);
-                }
-        }
-    }
 
     // Chain-edge freshness: an edge b -> c is only meaningful if c's
     // BIT entry is fresh where b sits.
@@ -728,7 +551,7 @@ runChecks(const Function &fn, Diagnostics &diag, int errBefore,
             const Instruction &inst = bb.insts[i];
             if (isSetup(inst.op))
                 continue;
-            int gi = gidx.at(blk, static_cast<int>(i));
+            int gi = model.gi(blk, static_cast<int>(i));
             int r = regionOfGi[static_cast<size_t>(gi)];
             int self = branchAtGi[static_cast<size_t>(gi)];
             std::vector<int> deps;
@@ -812,8 +635,7 @@ runChecks(const Function &fn, Diagnostics &diag, int errBefore,
             for (int d : deps) {
                 int covering = 0;
                 for (int m : members)
-                    if (cover[static_cast<size_t>(m)].test(
-                            static_cast<size_t>(d)))
+                    if (model.chainCovers(m, d))
                         ++covering;
                 if (covering == 0) {
                     if (depSeen.insert({r, d}).second)
@@ -844,13 +666,13 @@ runChecks(const Function &fn, Diagnostics &diag, int errBefore,
     // must carry the sensitive flag.
     //
     if (opts.checkOrderSensitivity) {
-        for (int r = 0; r < nregions; ++r) {
-            const Region &reg = regions[static_cast<size_t>(r)];
+        for (size_t r = 0; r < regions.size(); ++r) {
+            const Region &reg = regions[r];
             if (!reachBlk[static_cast<size_t>(reg.bb)] || reg.strict ||
                 reg.id <= 0 || reg.sens)
                 continue;
             for (int gi : reg.covered) {
-                if (!crossTaint[static_cast<size_t>(gi)].any())
+                if (model.crossDeps[static_cast<size_t>(gi)].empty())
                     continue;
                 diag.error("missing-order-sensitive",
                            locAt(fn, reg.bb, reg.setIdx),
@@ -879,24 +701,26 @@ runChecks(const Function &fn, Diagnostics &diag, int errBefore,
 
 } // namespace
 
-bool
-checkAnnotations(const Program &prog, Diagnostics &diag,
-                 const CheckOptions &opts)
+DependenceModel
+buildDependenceModel(const Program &prog)
 {
+    DependenceModel m;
     const Function &fn = prog.function();
-    const int errBefore = diag.errorCount();
     const int nblocks = static_cast<int>(fn.numBlocks());
     if (nblocks == 0 || fn.entry() < 0 || fn.entry() >= nblocks)
-        return true; // structurally broken: verifyProgram reports it
+        return m; // structurally broken: stays !valid
 
     // Bail out early on out-of-range cached edges — every dataflow
     // below indexes blocks through them. verifyProgram flags the cause.
     for (const auto &bb : fn.blocks())
         for (int s : bb.succs)
             if (s < 0 || s >= nblocks)
-                return true;
+                return m;
+    m.valid = true;
 
     InstIndex gidx(fn);
+    m.giBase = gidx.base;
+    m.numInsts = gidx.total;
 
     //
     // Decode the annotation: dependency regions and branch markings,
@@ -904,10 +728,12 @@ checkAnnotations(const Program &prog, Diagnostics &diag,
     // not consume region slots; a setBranchId arms the next real
     // instruction).
     //
-    std::vector<Region> regions;
-    std::vector<Branch> branches;
-    std::vector<int> regionOfGi(gidx.total, -1);
-    std::vector<int> branchAtGi(gidx.total, -1);
+    std::vector<Region> &regions = m.regions;
+    std::vector<Branch> &branches = m.branches;
+    m.regionOfGi.assign(gidx.total, -1);
+    m.branchAtGi.assign(gidx.total, -1);
+    std::vector<int> &regionOfGi = m.regionOfGi;
+    std::vector<int> &branchAtGi = m.branchAtGi;
     bool anySetup = false;
 
     for (int blk = 0; blk < nblocks; ++blk) {
@@ -963,24 +789,13 @@ checkAnnotations(const Program &prog, Diagnostics &diag,
         }
     }
 
-    if (!anySetup) {
-        if (opts.requireAnnotations)
-            diag.error("not-annotated", locAt(fn, -1),
-                       "no setup instructions found but annotations "
-                       "were required");
-        else
-            diag.note("not-annotated", locAt(fn, -1),
-                      "no setup instructions: dependence checks "
-                      "skipped");
-        return diag.errorCount() == errBefore;
-    }
-
-    const int nbranches = static_cast<int>(branches.size());
+    m.anySetup = anySetup;
 
     //
     // Reachability, dominance, execution order.
     //
-    std::vector<bool> reachBlk(static_cast<size_t>(nblocks), false);
+    m.reachBlk.assign(static_cast<size_t>(nblocks), false);
+    std::vector<bool> &reachBlk = m.reachBlk;
     {
         std::vector<int> stack{fn.entry()};
         reachBlk[static_cast<size_t>(fn.entry())] = true;
@@ -994,8 +809,14 @@ checkAnnotations(const Program &prog, Diagnostics &diag,
                 }
         }
     }
-    DomSets dom(fn, false);
-    DomSets pdom(fn, true);
+    if (!anySetup)
+        return m; // nothing to model beyond the decode
+
+    const int nbranches = static_cast<int>(branches.size());
+    m.dom = DomSets(fn, false);
+    m.pdom = DomSets(fn, true);
+    const DomSets &dom = m.dom;
+    const DomSets &pdom = m.pdom;
     std::vector<int64_t> orderPos = computeOrderPos(fn, gidx);
 
     //
@@ -1004,7 +825,8 @@ checkAnnotations(const Program &prog, Diagnostics &diag,
     // data taint over this file's own use-def chains and alias model.
     //
     UseDefs ud(fn, gidx);
-    std::vector<std::vector<int>> depSet(gidx.total);
+    m.depSet.assign(gidx.total, {});
+    std::vector<std::vector<int>> &depSet = m.depSet;
     std::vector<BitVec> crossTaint(
         gidx.total,
         BitVec(static_cast<size_t>(std::max(nbranches, 1))));
@@ -1180,9 +1002,203 @@ checkAnnotations(const Program &prog, Diagnostics &diag,
         }
     }
 
-    return runChecks(fn, diag, errBefore, gidx, dom, pdom, reachBlk,
-                     regions, branches, regionOfGi, branchAtGi, depSet,
-                     crossTaint, opts);
+    m.crossDeps.assign(gidx.total, {});
+    for (size_t gi = 0; gi < gidx.total; ++gi)
+        for (int b = 0; b < nbranches; ++b)
+            if (crossTaint[gi].test(static_cast<size_t>(b)))
+                m.crossDeps[gi].push_back(b);
+
+    //
+    // Abstract BIT: forward may-dataflow mapping each compiler ID to
+    // the static branches whose arming can be the latest one. Armings
+    // happen at marked branch sites (terminators after the verifier's
+    // placement rules, but evaluated positionally for robustness).
+    // Bit nbranches stands for UNSET: "no arming executed yet on this
+    // path", which legitimately commits without waiting (the first
+    // iteration of a loop whose guard post-dominates the region).
+    //
+    const size_t UNSET = static_cast<size_t>(nbranches);
+    auto applyArmings = [&](int blk, int uptoIdx,
+                            std::vector<BitVec> &st) {
+        const auto &bb = fn.block(blk);
+        int stop = uptoIdx < 0 ? static_cast<int>(bb.insts.size())
+                               : uptoIdx;
+        for (int i = 0; i < stop; ++i) {
+            int b = branchAtGi[static_cast<size_t>(gidx.at(blk, i))];
+            if (b < 0)
+                continue;
+            int id = branches[static_cast<size_t>(b)].markId;
+            if (id <= 0 || id >= NUM_BRANCH_IDS)
+                continue;
+            st[static_cast<size_t>(id)].clearAll();
+            st[static_cast<size_t>(id)].set(static_cast<size_t>(b));
+        }
+    };
+
+    std::vector<std::vector<BitVec>> bitIn(
+        static_cast<size_t>(nblocks),
+        std::vector<BitVec>(
+            NUM_BRANCH_IDS,
+            BitVec(static_cast<size_t>(nbranches) + 1)));
+    for (int id = 1; id < NUM_BRANCH_IDS; ++id)
+        bitIn[static_cast<size_t>(fn.entry())][static_cast<size_t>(id)]
+            .set(UNSET);
+    bool flow = true;
+    while (flow) {
+        flow = false;
+        for (int blk = 0; blk < nblocks; ++blk) {
+            if (!reachBlk[static_cast<size_t>(blk)])
+                continue;
+            std::vector<BitVec> out = bitIn[static_cast<size_t>(blk)];
+            applyArmings(blk, -1, out);
+            for (int s : fn.block(blk).succs)
+                for (int id = 1; id < NUM_BRANCH_IDS; ++id)
+                    flow = bitIn[static_cast<size_t>(s)]
+                               [static_cast<size_t>(id)]
+                                   .orWith(
+                                       out[static_cast<size_t>(id)]) ||
+                           flow;
+        }
+    }
+
+    // Per-region resolution set: the BIT state the region's
+    // setDependency observes.
+    const int nregions = static_cast<int>(regions.size());
+    m.resMembers.assign(static_cast<size_t>(nregions), {});
+    for (int r = 0; r < nregions; ++r) {
+        const Region &reg = regions[static_cast<size_t>(r)];
+        if (!reachBlk[static_cast<size_t>(reg.bb)] || reg.id <= 0)
+            continue;
+        std::vector<BitVec> st = bitIn[static_cast<size_t>(reg.bb)];
+        applyArmings(reg.bb, reg.setIdx, st);
+        for (int b = 0; b < nbranches; ++b)
+            if (st[static_cast<size_t>(reg.id)].test(
+                    static_cast<size_t>(b)))
+                m.resMembers[static_cast<size_t>(r)].push_back(b);
+    }
+
+    m.armedAnywhere.assign(NUM_BRANCH_IDS, false);
+    for (const Branch &br : branches)
+        if (br.markId > 0 && br.markId < NUM_BRANCH_IDS &&
+            reachBlk[static_cast<size_t>(br.bb)])
+            m.armedAnywhere[static_cast<size_t>(br.markId)] = true;
+
+    //
+    // Guard chains: a branch's chain successors are the branches armed
+    // with its covering region's ID — the *marking intent*, not the
+    // BIT resolution. The two differ when an arming cannot flow to the
+    // region (the guard is then permanently unset there), which the
+    // commit conditions tolerate: a dependence that never executed has
+    // nothing to wait for, so an always-unset link is vacuously
+    // covered, not broken. A strict region covers everything (full
+    // in-order commit); ID 0 or no region ends the chain. cover[] is
+    // the least fixpoint of
+    //   cover(b) = {b} ∪ ⋂_{c ∈ succ(b)} cover(c)
+    // — must-coverage across ID-reuse ambiguity, cycle-tolerant like
+    // the dynamic chains (every edge steps to an older instance).
+    //
+    std::vector<std::vector<int>> armedWith(NUM_BRANCH_IDS);
+    for (int b = 0; b < nbranches; ++b) {
+        const Branch &br = branches[static_cast<size_t>(b)];
+        if (br.markId > 0 && br.markId < NUM_BRANCH_IDS &&
+            reachBlk[static_cast<size_t>(br.bb)])
+            armedWith[static_cast<size_t>(br.markId)].push_back(b);
+    }
+    m.chainSucc.assign(static_cast<size_t>(nbranches), {});
+    m.universal.assign(static_cast<size_t>(nbranches), false);
+    for (int b = 0; b < nbranches; ++b) {
+        int r = regionOfGi[static_cast<size_t>(
+            branches[static_cast<size_t>(b)].gi)];
+        if (r < 0)
+            continue;
+        const Region &reg = regions[static_cast<size_t>(r)];
+        if (reg.strict)
+            m.universal[static_cast<size_t>(b)] = true;
+        else if (reg.id > 0)
+            m.chainSucc[static_cast<size_t>(b)] =
+                armedWith[static_cast<size_t>(reg.id)];
+    }
+    std::vector<BitVec> cover(
+        static_cast<size_t>(nbranches),
+        BitVec(static_cast<size_t>(std::max(nbranches, 1))));
+    for (int b = 0; b < nbranches; ++b) {
+        if (m.universal[static_cast<size_t>(b)])
+            cover[static_cast<size_t>(b)].setAll();
+        else
+            cover[static_cast<size_t>(b)].set(static_cast<size_t>(b));
+    }
+    bool growing = true;
+    while (growing) {
+        growing = false;
+        for (int b = 0; b < nbranches; ++b) {
+            if (m.universal[static_cast<size_t>(b)] ||
+                m.chainSucc[static_cast<size_t>(b)].empty())
+                continue;
+            BitVec next(static_cast<size_t>(std::max(nbranches, 1)));
+            next.setAll();
+            for (int c : m.chainSucc[static_cast<size_t>(b)])
+                next.andWith(cover[static_cast<size_t>(c)]);
+            next.set(static_cast<size_t>(b));
+            growing =
+                cover[static_cast<size_t>(b)].orWith(next) || growing;
+        }
+    }
+    m.cover.assign(static_cast<size_t>(nbranches),
+                   std::vector<bool>(static_cast<size_t>(nbranches),
+                                     false));
+    for (int b = 0; b < nbranches; ++b)
+        for (int d = 0; d < nbranches; ++d)
+            m.cover[static_cast<size_t>(b)][static_cast<size_t>(d)] =
+                cover[static_cast<size_t>(b)].test(
+                    static_cast<size_t>(d));
+
+    // Branches actually reachable through some region's chain.
+    m.usedBranch.assign(static_cast<size_t>(nbranches), false);
+    {
+        std::vector<int> stack;
+        for (int r = 0; r < nregions; ++r)
+            for (int b : m.resMembers[static_cast<size_t>(r)])
+                if (!m.usedBranch[static_cast<size_t>(b)]) {
+                    m.usedBranch[static_cast<size_t>(b)] = true;
+                    stack.push_back(b);
+                }
+        while (!stack.empty()) {
+            int b = stack.back();
+            stack.pop_back();
+            for (int c : m.chainSucc[static_cast<size_t>(b)])
+                if (!m.usedBranch[static_cast<size_t>(c)]) {
+                    m.usedBranch[static_cast<size_t>(c)] = true;
+                    stack.push_back(c);
+                }
+        }
+    }
+
+    return m;
+}
+
+bool
+checkAnnotations(const Program &prog, Diagnostics &diag,
+                 const CheckOptions &opts)
+{
+    const Function &fn = prog.function();
+    const int errBefore = diag.errorCount();
+    DependenceModel model = buildDependenceModel(prog);
+    if (!model.valid)
+        return true; // structurally broken: verifyProgram reports it
+
+    if (!model.anySetup) {
+        if (opts.requireAnnotations)
+            diag.error("not-annotated", locAt(fn, -1),
+                       "no setup instructions found but annotations "
+                       "were required");
+        else
+            diag.note("not-annotated", locAt(fn, -1),
+                      "no setup instructions: dependence checks "
+                      "skipped");
+        return diag.errorCount() == errBefore;
+    }
+
+    return runChecks(fn, diag, errBefore, model, opts);
 }
 
 bool

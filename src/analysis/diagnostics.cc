@@ -1,6 +1,8 @@
 #include "analysis/diagnostics.h"
 
+#include <algorithm>
 #include <sstream>
+#include <tuple>
 
 namespace noreba {
 
@@ -43,6 +45,14 @@ void
 Diagnostics::add(Severity severity, const std::string &rule,
                  const SourceLoc &loc, const std::string &message)
 {
+    // Dedupe at the source so severity/rule counts stay consistent
+    // with the rendered report: an identical finding (same rule,
+    // location, severity, and message) is recorded once.
+    for (const Finding &f : findings_)
+        if (f.severity == severity && f.rule == rule &&
+            f.loc.block == loc.block && f.loc.instIdx == loc.instIdx &&
+            f.loc.blockLabel == loc.blockLabel && f.message == message)
+            return;
     findings_.push_back({severity, rule, loc, message});
     ++byRule_[rule];
     switch (severity) {
@@ -50,6 +60,20 @@ Diagnostics::add(Severity severity, const std::string &rule,
       case Severity::Warning: ++warnings_; break;
       case Severity::Note: ++notes_; break;
     }
+}
+
+std::vector<Finding>
+Diagnostics::sortedFindings() const
+{
+    std::vector<Finding> sorted = findings_;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const Finding &a, const Finding &b) {
+                         return std::tie(a.rule, a.loc.block,
+                                         a.loc.instIdx, a.message) <
+                                std::tie(b.rule, b.loc.block,
+                                         b.loc.instIdx, b.message);
+                     });
+    return sorted;
 }
 
 bool
@@ -72,7 +96,7 @@ std::string
 Diagnostics::toText() const
 {
     std::ostringstream os;
-    for (const Finding &f : findings_) {
+    for (const Finding &f : sortedFindings()) {
         if (!unit_.empty())
             os << unit_ << ": ";
         os << f.toString() << '\n';
@@ -96,7 +120,7 @@ Diagnostics::toJson() const
         byRule.set(rule, count);
     out.set("byRule", std::move(byRule));
     JsonValue arr = JsonValue::array();
-    for (const Finding &f : findings_) {
+    for (const Finding &f : sortedFindings()) {
         JsonValue j = JsonValue::object();
         j.set("severity", severityName(f.severity));
         j.set("rule", f.rule);

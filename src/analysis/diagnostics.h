@@ -49,6 +49,12 @@ struct Finding
 /**
  * Finding sink for one verification run. Rules append; renderers and
  * the CLI consume. Counts are tracked per severity and per rule id.
+ *
+ * Reports are deterministic: add() drops findings identical to one
+ * already recorded (same severity, rule, location, and message), and
+ * both renderers emit findings stable-sorted by (rule, location)
+ * rather than in insertion order, so two analysis runs that discover
+ * the same facts in different orders produce byte-identical output.
  */
 class Diagnostics
 {
@@ -78,6 +84,9 @@ class Diagnostics
     }
 
     const std::vector<Finding> &findings() const { return findings_; }
+
+    /** Findings stable-sorted by (rule, location), for renderers. */
+    std::vector<Finding> sortedFindings() const;
 
     int errorCount() const { return errors_; }
     int warningCount() const { return warnings_; }

@@ -1,0 +1,550 @@
+#include "analysis/precision.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "analysis/verifier.h"
+#include "ir/dataflow.h"
+#include "isa/setup_encoding.h"
+
+namespace noreba {
+
+namespace {
+
+SourceLoc
+locAt(const Function &fn, int bb, int idx)
+{
+    SourceLoc loc;
+    loc.block = bb;
+    loc.blockLabel = fn.block(bb).label;
+    loc.instIdx = idx;
+    return loc;
+}
+
+/**
+ * Branch-ID liveness on the generic engine: Backward/Union over
+ * NUM_BRANCH_IDS bits. A BIT entry is *used* by a setDependency that
+ * guards on it and *defined* at a marked branch site (decode applies
+ * the pending setBranchId when the branch itself passes, so the def
+ * point is the branch, not the arming instruction).
+ */
+DataflowResult
+solveBranchIdLiveness(const Function &fn, const DependenceModel &model)
+{
+    const int nblocks = static_cast<int>(fn.numBlocks());
+    GenKillProblem p;
+    p.direction = Direction::Backward;
+    p.meet = Meet::Union;
+    p.numBits = NUM_BRANCH_IDS;
+    p.resize(nblocks);
+    for (int blk = 0; blk < nblocks; ++blk) {
+        const BasicBlock &bb = fn.block(blk);
+        uint64_t defined = 0;
+        for (size_t i = 0; i < bb.insts.size(); ++i) {
+            const Instruction &inst = bb.insts[i];
+            if (inst.op == Opcode::SET_DEPENDENCY) {
+                int id = setDependencyId(inst);
+                if (id > 0 && id < NUM_BRANCH_IDS &&
+                    !((defined >> id) & 1))
+                    p.setGen(blk, static_cast<size_t>(id));
+                continue;
+            }
+            int br = model.branchAtGi[static_cast<size_t>(
+                model.gi(blk, static_cast<int>(i)))];
+            if (br < 0)
+                continue;
+            int m = model.branches[static_cast<size_t>(br)].markId;
+            if (m > 0 && m < NUM_BRANCH_IDS) {
+                p.setKill(blk, static_cast<size_t>(m));
+                defined |= uint64_t{1} << m;
+            }
+        }
+    }
+    return solveDataflow(DataflowGraph::fromCfg(fn), p);
+}
+
+std::string
+rewriteKey(const SetupRewrite &rw)
+{
+    return std::to_string(static_cast<int>(rw.kind)) + ":" +
+           std::to_string(rw.bb) + ":" + std::to_string(rw.idx) + ":" +
+           std::to_string(rw.intoIdx) + ":" + std::to_string(rw.newNum);
+}
+
+} // namespace
+
+JsonValue
+PrecisionReport::toJson() const
+{
+    JsonValue out = JsonValue::object();
+    out.set("annotated", annotated);
+    out.set("totalInsts", totalInsts);
+    out.set("realInsts", realInsts);
+    out.set("setupInsts", setupInsts);
+    out.set("numRegions", numRegions);
+    out.set("numBranches", numBranches);
+    out.set("numMarkedBranches", numMarkedBranches);
+    out.set("coveredInsts", coveredInsts);
+    out.set("deadArmings", deadArmings);
+    out.set("subsumedRegions", subsumedRegions);
+    out.set("overcountSlots", overcountSlots);
+    out.set("unreachableSetups", unreachableSetups);
+    out.set("markedPairs", markedPairs);
+    out.set("neededPairs", neededPairs);
+    out.set("dynInsts", dynInsts);
+    out.set("dynSetups", dynSetups);
+    out.set("staticSetupFraction", staticSetupFraction());
+    out.set("dynSetupFraction", dynSetupFraction());
+    out.set("avgMarkedPerBranch", avgMarkedPerBranch());
+    out.set("avgProvenPerBranch", avgProvenPerBranch());
+    out.set("overMarkingRate", overMarkingRate());
+    JsonValue arr = JsonValue::array();
+    for (const BranchPrecision &bp : perBranch) {
+        JsonValue j = JsonValue::object();
+        j.set("branch", bp.branch);
+        j.set("block", bp.bb);
+        j.set("inst", bp.instIdx);
+        j.set("markId", bp.markId);
+        j.set("markedInsts", bp.markedInsts);
+        j.set("neededInsts", bp.neededInsts);
+        arr.push(std::move(j));
+    }
+    out.set("perBranch", std::move(arr));
+    return out;
+}
+
+PrecisionReport
+analyzePrecision(const Program &prog, Diagnostics *diag,
+                 std::vector<SetupRewrite> *rewrites)
+{
+    PrecisionReport rep;
+    const Function &fn = prog.function();
+    const int nblocks = static_cast<int>(fn.numBlocks());
+    for (int blk = 0; blk < nblocks; ++blk)
+        for (const Instruction &inst : fn.block(blk).insts) {
+            ++rep.totalInsts;
+            if (isSetup(inst.op))
+                ++rep.setupInsts;
+            else
+                ++rep.realInsts;
+        }
+
+    DependenceModel model = buildDependenceModel(prog);
+    if (!model.valid || !model.anySetup)
+        return rep;
+    rep.annotated = true;
+
+    const int nbranches = static_cast<int>(model.branches.size());
+    rep.numRegions = static_cast<int>(model.regions.size());
+    rep.numBranches = nbranches;
+    for (const DependenceModel::Branch &br : model.branches)
+        if (br.markId > 0)
+            ++rep.numMarkedBranches;
+    for (int r : model.regionOfGi)
+        if (r >= 0)
+            ++rep.coveredInsts;
+
+    auto freshAt = [&](int b, int blk) {
+        int db = model.branches[static_cast<size_t>(b)].bb;
+        return model.dom.dominates(db, blk) ||
+               model.pdom.dominates(db, blk);
+    };
+
+    //
+    // Rule: unreachable-annotation. Setup records in blocks the entry
+    // can never reach contribute static footprint and nothing else.
+    //
+    for (int blk = 0; blk < nblocks; ++blk) {
+        if (model.reachBlk[static_cast<size_t>(blk)])
+            continue;
+        const BasicBlock &bb = fn.block(blk);
+        for (size_t i = 0; i < bb.insts.size(); ++i) {
+            if (!isSetup(bb.insts[i].op))
+                continue;
+            ++rep.unreachableSetups;
+            if (diag)
+                diag->warning("unreachable-annotation",
+                              locAt(fn, blk, static_cast<int>(i)),
+                              std::string(opcodeName(bb.insts[i].op)) +
+                                  " in a block unreachable from the "
+                                  "entry");
+            if (rewrites) {
+                SetupRewrite rw;
+                rw.kind = SetupRewrite::Kind::DeleteSetup;
+                rw.bb = blk;
+                rw.idx = static_cast<int>(i);
+                rewrites->push_back(rw);
+            }
+        }
+    }
+
+    //
+    // Rule: dead-set-branch-id. Solve branch-ID liveness, then walk
+    // each reachable block backwards from its live-out: an armed
+    // branch whose ID is not live right after the branch writes a BIT
+    // entry no setDependency ever reads.
+    //
+    DataflowResult live = solveBranchIdLiveness(fn, model);
+    for (int blk = 0; blk < nblocks; ++blk) {
+        if (!model.reachBlk[static_cast<size_t>(blk)])
+            continue;
+        const BasicBlock &bb = fn.block(blk);
+        uint64_t liveBits = live.inRow(blk)[0]; // live-out of the block
+        for (int i = static_cast<int>(bb.insts.size()) - 1; i >= 0;
+             --i) {
+            const Instruction &inst = bb.insts[static_cast<size_t>(i)];
+            if (inst.op == Opcode::SET_DEPENDENCY) {
+                int id = setDependencyId(inst);
+                if (id > 0 && id < NUM_BRANCH_IDS)
+                    liveBits |= uint64_t{1} << id;
+                continue;
+            }
+            int br = model.branchAtGi[static_cast<size_t>(
+                model.gi(blk, i))];
+            if (br < 0)
+                continue;
+            int m = model.branches[static_cast<size_t>(br)].markId;
+            if (m <= 0 || m >= NUM_BRANCH_IDS)
+                continue;
+            if (!((liveBits >> m) & 1)) {
+                // Locate the arming setBranchId: the verifier pins it
+                // immediately before the branch, modulo other setups.
+                for (int j = i - 1;
+                     j >= 0 &&
+                     isSetup(bb.insts[static_cast<size_t>(j)].op);
+                     --j) {
+                    const Instruction &arm =
+                        bb.insts[static_cast<size_t>(j)];
+                    if (arm.op != Opcode::SET_BRANCH_ID ||
+                        setBranchIdId(arm) != m)
+                        continue;
+                    ++rep.deadArmings;
+                    if (diag)
+                        diag->warning(
+                            "dead-set-branch-id", locAt(fn, blk, j),
+                            "setBranchId " + std::to_string(m) +
+                                " is dead: no setDependency reads the "
+                                "BIT entry this branch writes");
+                    if (rewrites) {
+                        SetupRewrite rw;
+                        rw.kind =
+                            SetupRewrite::Kind::DeleteSetBranchId;
+                        rw.bb = blk;
+                        rw.idx = j;
+                        rewrites->push_back(rw);
+                    }
+                    break;
+                }
+            }
+            liveBits &= ~(uint64_t{1} << m);
+        }
+    }
+
+    //
+    // Rule: region-overcount. Trailing covered instructions with no
+    // proven dependence (and no cross-instance flow) pay the commit
+    // gating for nothing — the declared NUM can shrink.
+    //
+    for (size_t r = 0; r < model.regions.size(); ++r) {
+        const DependenceModel::Region &reg = model.regions[r];
+        if (!model.reachBlk[static_cast<size_t>(reg.bb)] ||
+            static_cast<int>(reg.covered.size()) != reg.num)
+            continue;
+        int keep = reg.num;
+        while (keep > 0) {
+            int gi = reg.covered[static_cast<size_t>(keep - 1)];
+            int self = model.branchAtGi[static_cast<size_t>(gi)];
+            // A covered branch site is a guard-chain node: dropping it
+            // from the region would cut every chain that runs through
+            // it, so trimming stops there even if it has no deps.
+            bool needed = self >= 0 ||
+                          !model.crossDeps[static_cast<size_t>(gi)]
+                               .empty();
+            for (int d : model.depSet[static_cast<size_t>(gi)])
+                if (d != self)
+                    needed = true;
+            if (needed)
+                break;
+            --keep;
+        }
+        if (keep == reg.num)
+            continue;
+        rep.overcountSlots += reg.num - keep;
+        if (diag)
+            diag->warning(
+                "region-overcount", locAt(fn, reg.bb, reg.setIdx),
+                "setDependency NUM " + std::to_string(reg.num) +
+                    " over-counts: the trailing " +
+                    std::to_string(reg.num - keep) +
+                    " instruction(s) have no proven dependence");
+        if (rewrites) {
+            SetupRewrite rw;
+            rw.kind = SetupRewrite::Kind::TrimNum;
+            rw.bb = reg.bb;
+            rw.idx = reg.setIdx;
+            rw.newNum = keep;
+            rw.sens = reg.sens;
+            rw.strict = reg.strict;
+            rewrites->push_back(rw);
+        }
+    }
+
+    //
+    // Rule: subsumed-set-dependency. Two back-to-back regions in one
+    // block where the first one's guard chain already must-covers
+    // every proven dependence of the second: one setDependency with
+    // the summed NUM expresses both, deleting a setup instruction.
+    //
+    std::vector<std::vector<int>> armedWith(NUM_BRANCH_IDS);
+    for (int b = 0; b < nbranches; ++b) {
+        const DependenceModel::Branch &br =
+            model.branches[static_cast<size_t>(b)];
+        if (br.markId > 0 && br.markId < NUM_BRANCH_IDS &&
+            model.reachBlk[static_cast<size_t>(br.bb)])
+            armedWith[static_cast<size_t>(br.markId)].push_back(b);
+    }
+
+    // A merge rewires the guard chain of every branch inside r2's
+    // span, which can invalidate coverage proofs far away. The static
+    // filter above prunes the obvious cases; the final word comes
+    // from replaying the rewrite on a scratch copy and re-running the
+    // full checker — a finding is only reported if the rewritten
+    // program proves no worse than the input.
+    int baseErrors = -1;
+    auto errorCount = [](const Program &p) {
+        Diagnostics d;
+        verifyProgram(p, d);
+        checkAnnotations(p, d);
+        return d.errorCount();
+    };
+    auto rewriteProves = [&](const SetupRewrite &rw) {
+        if (baseErrors < 0)
+            baseErrors = errorCount(prog);
+        Program copy = prog;
+        if (applySetupRewrites(copy, {rw}, {}).applied != 1)
+            return false;
+        return errorCount(copy) <= baseErrors;
+    };
+
+    std::vector<std::vector<size_t>> regionsOfBlk(
+        static_cast<size_t>(nblocks));
+    for (size_t r = 0; r < model.regions.size(); ++r)
+        regionsOfBlk[static_cast<size_t>(model.regions[r].bb)]
+            .push_back(r);
+    for (int blk = 0; blk < nblocks; ++blk) {
+        if (!model.reachBlk[static_cast<size_t>(blk)])
+            continue;
+        std::vector<size_t> &rs = regionsOfBlk[static_cast<size_t>(blk)];
+        std::sort(rs.begin(), rs.end(), [&](size_t a, size_t b) {
+            return model.regions[a].setIdx < model.regions[b].setIdx;
+        });
+        // Greedy non-overlapping pairs; a chain of three merges in a
+        // later optimizeAnnotations() round after recomputation.
+        for (size_t k = 0; k + 1 < rs.size(); ++k) {
+            const DependenceModel::Region &r1 = model.regions[rs[k]];
+            const DependenceModel::Region &r2 =
+                model.regions[rs[k + 1]];
+            if (r1.strict || r2.strict || r1.id <= 0 || r2.id <= 0 ||
+                r1.covered.empty() ||
+                static_cast<int>(r1.covered.size()) != r1.num ||
+                static_cast<int>(r2.covered.size()) != r2.num)
+                continue;
+            int lastIdx = r1.covered.back() -
+                          static_cast<int>(model.giBase[
+                              static_cast<size_t>(blk)]);
+            if (r2.setIdx != lastIdx + 1)
+                continue;
+            const std::vector<int> &members = model.resMembers[rs[k]];
+            if (members.empty())
+                continue;
+            bool ok = true;
+            for (int m : members)
+                if (!freshAt(m, blk)) {
+                    ok = false;
+                    break;
+                }
+            for (int gi : r2.covered) {
+                if (!ok)
+                    break;
+                int self = model.branchAtGi[static_cast<size_t>(gi)];
+                for (int d : model.depSet[static_cast<size_t>(gi)]) {
+                    if (d == self)
+                        continue;
+                    for (int m : members)
+                        if (!model.chainCovers(m, d)) {
+                            ok = false;
+                            break;
+                        }
+                    if (!ok)
+                        break;
+                }
+                // A branch inside r2's span changes chain: its
+                // successors switch from armedWith[r2.id] (the chain
+                // it extends today) to armedWith[r1.id]. Coverage
+                // through it survives only if every new successor is
+                // fresh there and must-covers every old successor.
+                if (ok && self >= 0) {
+                    const std::vector<int> &oldSucc =
+                        armedWith[static_cast<size_t>(r2.id)];
+                    const std::vector<int> &newSucc =
+                        armedWith[static_cast<size_t>(r1.id)];
+                    if (!oldSucc.empty() && newSucc.empty())
+                        ok = false;
+                    int selfBb =
+                        model.branches[static_cast<size_t>(self)].bb;
+                    for (int c2 : newSucc) {
+                        if (!ok)
+                            break;
+                        if (c2 != self && !freshAt(c2, selfBb)) {
+                            ok = false;
+                            break;
+                        }
+                        for (int c1 : oldSucc)
+                            if (!model.chainCovers(c2, c1)) {
+                                ok = false;
+                                break;
+                            }
+                    }
+                }
+            }
+            if (!ok)
+                continue;
+            SetupRewrite rw;
+            rw.kind = SetupRewrite::Kind::MergeRegions;
+            rw.bb = blk;
+            rw.idx = r2.setIdx;
+            rw.intoIdx = r1.setIdx;
+            rw.newNum = r1.num + r2.num;
+            rw.sens = r1.sens || r2.sens;
+            rw.strict = false;
+            if (!rewriteProves(rw))
+                continue;
+            ++rep.subsumedRegions;
+            if (diag)
+                diag->warning(
+                    "subsumed-set-dependency",
+                    locAt(fn, blk, r2.setIdx),
+                    "region (ID " + std::to_string(r2.id) + ", NUM " +
+                        std::to_string(r2.num) +
+                        ") is subsumed by the adjacent region at " +
+                        locAt(fn, blk, r1.setIdx).toString() +
+                        " (ID " + std::to_string(r1.id) +
+                        "): its guard chain already covers every "
+                        "proven dependence");
+            if (rewrites)
+                rewrites->push_back(rw);
+            ++k; // r2 consumed; don't chain it into the next pair
+        }
+    }
+
+    //
+    // Over-marking: the pass's must-wait pairs vs the checker's
+    // proven dependence pairs, per branch and in aggregate.
+    //
+    std::vector<int> marked(static_cast<size_t>(nbranches), 0);
+    std::vector<int> needed(static_cast<size_t>(nbranches), 0);
+    for (int blk = 0; blk < nblocks; ++blk) {
+        if (!model.reachBlk[static_cast<size_t>(blk)])
+            continue;
+        const BasicBlock &bb = fn.block(blk);
+        for (size_t i = 0; i < bb.insts.size(); ++i) {
+            if (isSetup(bb.insts[i].op))
+                continue;
+            int gi = model.gi(blk, static_cast<int>(i));
+            int self = model.branchAtGi[static_cast<size_t>(gi)];
+            for (int d : model.depSet[static_cast<size_t>(gi)])
+                if (d != self) {
+                    ++needed[static_cast<size_t>(d)];
+                    ++rep.neededPairs;
+                }
+        }
+    }
+    for (size_t r = 0; r < model.regions.size(); ++r) {
+        const DependenceModel::Region &reg = model.regions[r];
+        if (!model.reachBlk[static_cast<size_t>(reg.bb)])
+            continue;
+        std::vector<int> waits;
+        if (reg.strict) {
+            for (int d = 0; d < nbranches; ++d)
+                waits.push_back(d);
+        } else {
+            const std::vector<int> &members = model.resMembers[r];
+            if (members.empty())
+                continue;
+            for (int d = 0; d < nbranches; ++d) {
+                bool all = true;
+                for (int m : members)
+                    if (!model.chainCovers(m, d)) {
+                        all = false;
+                        break;
+                    }
+                if (all)
+                    waits.push_back(d);
+            }
+        }
+        for (int gi : reg.covered) {
+            int self = model.branchAtGi[static_cast<size_t>(gi)];
+            for (int d : waits)
+                if (d != self) {
+                    ++marked[static_cast<size_t>(d)];
+                    ++rep.markedPairs;
+                }
+        }
+    }
+    for (int b = 0; b < nbranches; ++b) {
+        const DependenceModel::Branch &br =
+            model.branches[static_cast<size_t>(b)];
+        PrecisionReport::BranchPrecision bp;
+        bp.branch = b;
+        bp.bb = br.bb;
+        bp.instIdx = br.instIdx;
+        bp.markId = br.markId;
+        bp.markedInsts = marked[static_cast<size_t>(b)];
+        bp.neededInsts = needed[static_cast<size_t>(b)];
+        rep.perBranch.push_back(bp);
+    }
+    return rep;
+}
+
+OptResult
+optimizeAnnotations(Program &prog,
+                    const std::function<uint64_t(const Program &)> &cost)
+{
+    OptOptions opts;
+    opts.verify = [](const Program &p) {
+        Diagnostics d(p.name());
+        bool okStruct = verifyProgram(p, d);
+        bool okSem = checkAnnotations(p, d);
+        return okStruct && okSem;
+    };
+    opts.cost = cost;
+
+    OptResult total;
+    std::set<std::string> rejected;
+    // Every committed rewrite strictly shrinks (setup count + summed
+    // NUM), so the recompute loop terminates.
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        std::vector<SetupRewrite> cands;
+        analyzePrecision(prog, nullptr, &cands);
+        for (const SetupRewrite &rw : cands) {
+            if (!rejected.insert(rewriteKey(rw)).second)
+                continue;
+            OptResult one = applySetupRewrites(prog, {rw}, opts);
+            total.accumulate(one);
+            if (one.applied > 0) {
+                // Indices shifted; recompute candidates. Rejected
+                // keys stay memoized — a genuinely new candidate at
+                // shifted coordinates carries a different NUM or
+                // target and so a different key.
+                progress = true;
+                break;
+            }
+        }
+    }
+    return total;
+}
+
+} // namespace noreba

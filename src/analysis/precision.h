@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Annotation precision linter: measures how much the compiler pass
+ * over-marks relative to what the independent checker can prove, and
+ * finds setup instructions that are provably removable.
+ *
+ * Where verifier.h asks "is the annotation well-formed?" and
+ * annotation_checker.h asks "is it sound?", this pass asks "is it
+ * tight?". It runs entirely on the checker's exported
+ * DependenceModel plus a branch-ID liveness analysis solved on the
+ * generic dataflow engine (ir/dataflow.h), and reports four
+ * Warning-severity lint rules:
+ *
+ *  - dead-set-branch-id      a well-placed setBranchId whose BIT
+ *                            write is live at no setDependency read
+ *                            (branch-ID liveness, Backward/Union over
+ *                            NUM_BRANCH_IDS bits)
+ *  - subsumed-set-dependency two adjacent regions in one block where
+ *                            the first region's guard chain already
+ *                            must-covers every proven dependence of
+ *                            the second — one setDependency suffices
+ *  - region-overcount        declared NUM covers trailing
+ *                            instructions with no proven dependence
+ *                            at all — the region can shrink
+ *  - unreachable-annotation  setup instruction in a block unreachable
+ *                            from the entry
+ *
+ * Each finding doubles as a candidate SetupRewrite for the cleanup
+ * pass (compiler/annotation_opt.h). optimizeAnnotations() drives the
+ * loop: recompute candidates, apply one at a time, re-verify with the
+ * independent checker after every rewrite, and keep a rewrite only if
+ * the caller's cost measure (typically simulated cycles) does not
+ * increase.
+ */
+
+#ifndef NOREBA_ANALYSIS_PRECISION_H
+#define NOREBA_ANALYSIS_PRECISION_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "analysis/annotation_checker.h"
+#include "analysis/diagnostics.h"
+#include "common/json.h"
+#include "compiler/annotation_opt.h"
+#include "ir/program.h"
+
+namespace noreba {
+
+/** Static precision/overhead measurements for one annotated program. */
+struct PrecisionReport
+{
+    bool annotated = false; //!< any setup records present
+
+    /** @name Static footprint @{ */
+    int totalInsts = 0;  //!< all instructions, setup included
+    int realInsts = 0;   //!< non-setup instructions
+    int setupInsts = 0;  //!< setBranchId + setDependency records
+    /** @} */
+
+    /** @name Annotation shape @{ */
+    int numRegions = 0;
+    int numBranches = 0;
+    int numMarkedBranches = 0; //!< branches armed with an ID
+    int coveredInsts = 0;      //!< real insts inside some region
+    /** @} */
+
+    /** @name Lint findings @{ */
+    int deadArmings = 0;       //!< dead-set-branch-id count
+    int subsumedRegions = 0;   //!< subsumed-set-dependency count
+    int overcountSlots = 0;    //!< region slots flagged region-overcount
+    int unreachableSetups = 0; //!< unreachable-annotation count
+    /** @} */
+
+    /**
+     * @name Over-marking vs the checker's proven must-dependence
+     * A (instruction, branch) pair is *marked* when the instruction's
+     * region provably waits on that branch (strict regions wait on
+     * every branch), and *needed* when the checker proves the
+     * instruction actually depends on it. @{
+     */
+    int64_t markedPairs = 0;
+    int64_t neededPairs = 0;
+
+    struct BranchPrecision
+    {
+        int branch = -1, bb = -1, instIdx = -1, markId = 0;
+        int markedInsts = 0; //!< insts whose region must-waits on it
+        int neededInsts = 0; //!< insts the checker proves depend on it
+    };
+    std::vector<BranchPrecision> perBranch;
+    /** @} */
+
+    /** @name Dynamic overhead, filled by callers that ran a trace @{ */
+    uint64_t dynInsts = 0;  //!< dynamic real instructions fetched
+    uint64_t dynSetups = 0; //!< dynamic setup instructions fetched
+    /** @} */
+
+    /** Setup fraction of the static code footprint. */
+    double staticSetupFraction() const
+    {
+        return totalInsts ? static_cast<double>(setupInsts) / totalInsts
+                          : 0.0;
+    }
+    /** Setup fraction of dynamic fetch (0 until dynInsts is filled). */
+    double dynSetupFraction() const
+    {
+        uint64_t fetched = dynInsts + dynSetups;
+        return fetched ? static_cast<double>(dynSetups) /
+                             static_cast<double>(fetched)
+                       : 0.0;
+    }
+    double avgMarkedPerBranch() const
+    {
+        return numMarkedBranches
+                   ? static_cast<double>(markedPairs) / numMarkedBranches
+                   : 0.0;
+    }
+    double avgProvenPerBranch() const
+    {
+        return numMarkedBranches
+                   ? static_cast<double>(neededPairs) / numMarkedBranches
+                   : 0.0;
+    }
+    /** Fraction of marked pairs the checker cannot prove needed. */
+    double overMarkingRate() const
+    {
+        if (markedPairs <= 0)
+            return 0.0;
+        int64_t over = markedPairs - neededPairs;
+        return over > 0 ? static_cast<double>(over) /
+                              static_cast<double>(markedPairs)
+                        : 0.0;
+    }
+
+    /** Flat JSON object (schema documented in EXPERIMENTS.md). */
+    JsonValue toJson() const;
+};
+
+/**
+ * Analyze the annotation precision of `prog`. When `diag` is given
+ * the four lint rules above are reported into it (all warnings); when
+ * `rewrites` is given the corresponding rewrite candidates are
+ * appended for applySetupRewrites()/optimizeAnnotations().
+ */
+PrecisionReport analyzePrecision(const Program &prog,
+                                 Diagnostics *diag = nullptr,
+                                 std::vector<SetupRewrite> *rewrites =
+                                     nullptr);
+
+/**
+ * Iteratively remove provably-dead and subsumed setup instructions
+ * from `prog`. Candidates come from analyzePrecision(); every rewrite
+ * is individually re-verified (verifyProgram + checkAnnotations must
+ * stay error-free) and, when `cost` is given, kept only if the cost
+ * does not increase — so a workload where a removal hurts rolls back
+ * to the bit-identical input. Recomputes candidates after every
+ * committed rewrite until none is left.
+ */
+OptResult optimizeAnnotations(
+    Program &prog,
+    const std::function<uint64_t(const Program &)> &cost = {});
+
+} // namespace noreba
+
+#endif // NOREBA_ANALYSIS_PRECISION_H

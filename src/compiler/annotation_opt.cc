@@ -1,0 +1,149 @@
+#include "compiler/annotation_opt.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "isa/setup_encoding.h"
+
+namespace noreba {
+
+const char *
+setupRewriteKindName(SetupRewrite::Kind k)
+{
+    switch (k) {
+      case SetupRewrite::Kind::DeleteSetBranchId: return "delete-set-branch-id";
+      case SetupRewrite::Kind::DeleteSetup: return "delete-setup";
+      case SetupRewrite::Kind::MergeRegions: return "merge-regions";
+      case SetupRewrite::Kind::TrimNum: return "trim-num";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Apply one rewrite in place. False = target doesn't match (stale). */
+bool
+applyOne(Program &prog, const SetupRewrite &rw)
+{
+    Function &fn = prog.function();
+    if (rw.bb < 0 || static_cast<size_t>(rw.bb) >= fn.numBlocks())
+        return false;
+    BasicBlock &bb = fn.block(rw.bb);
+    if (rw.idx < 0 || static_cast<size_t>(rw.idx) >= bb.insts.size())
+        return false;
+    Instruction &inst = bb.insts[static_cast<size_t>(rw.idx)];
+
+    switch (rw.kind) {
+      case SetupRewrite::Kind::DeleteSetBranchId:
+        if (inst.op != Opcode::SET_BRANCH_ID)
+            return false;
+        bb.insts.erase(bb.insts.begin() + rw.idx);
+        return true;
+
+      case SetupRewrite::Kind::DeleteSetup:
+        if (!isSetup(inst.op))
+            return false;
+        bb.insts.erase(bb.insts.begin() + rw.idx);
+        return true;
+
+      case SetupRewrite::Kind::MergeRegions: {
+        if (inst.op != Opcode::SET_DEPENDENCY)
+            return false;
+        if (rw.intoIdx < 0 || rw.intoIdx >= rw.idx ||
+            static_cast<size_t>(rw.intoIdx) >= bb.insts.size())
+            return false;
+        Instruction &into = bb.insts[static_cast<size_t>(rw.intoIdx)];
+        if (into.op != Opcode::SET_DEPENDENCY)
+            return false;
+        into = makeSetDependency(rw.newNum, setDependencyId(into), rw.sens,
+                                 rw.strict);
+        bb.insts.erase(bb.insts.begin() + rw.idx);
+        return true;
+      }
+
+      case SetupRewrite::Kind::TrimNum:
+        if (inst.op != Opcode::SET_DEPENDENCY)
+            return false;
+        if (rw.newNum <= 0) {
+            bb.insts.erase(bb.insts.begin() + rw.idx);
+            return true;
+        }
+        if (rw.newNum >= setDependencyNum(inst))
+            return false;
+        inst = makeSetDependency(rw.newNum, setDependencyId(inst), rw.sens,
+                                 rw.strict);
+        return true;
+    }
+    return false;
+}
+
+bool
+deletesInst(const SetupRewrite &rw)
+{
+    return rw.kind != SetupRewrite::Kind::TrimNum || rw.newNum <= 0;
+}
+
+} // namespace
+
+OptResult
+applySetupRewrites(Program &prog, std::vector<SetupRewrite> rewrites,
+                   const OptOptions &opts)
+{
+    OptResult res;
+    // Descending instruction index within each block keeps the not-yet-
+    // processed candidates' indices valid as committed deletions shift
+    // later instructions down.
+    std::stable_sort(rewrites.begin(), rewrites.end(),
+                     [](const SetupRewrite &a, const SetupRewrite &b) {
+                         if (a.bb != b.bb)
+                             return a.bb < b.bb;
+                         return a.idx > b.idx;
+                     });
+
+    uint64_t bestCost = opts.cost ? opts.cost(prog) : 0;
+    for (const SetupRewrite &rw : rewrites) {
+        ++res.attempted;
+        Program backup = prog;
+        int slotsBefore = 0;
+        if (rw.kind == SetupRewrite::Kind::TrimNum) {
+            const Function &fn = prog.function();
+            if (rw.bb >= 0 && static_cast<size_t>(rw.bb) < fn.numBlocks() &&
+                rw.idx >= 0 &&
+                static_cast<size_t>(rw.idx) <
+                    fn.block(rw.bb).insts.size()) {
+                const Instruction &i =
+                    fn.block(rw.bb).insts[static_cast<size_t>(rw.idx)];
+                if (i.op == Opcode::SET_DEPENDENCY)
+                    slotsBefore = setDependencyNum(i);
+            }
+        }
+        if (!applyOne(prog, rw)) {
+            prog = std::move(backup);
+            ++res.rejectedInvalid;
+            continue;
+        }
+        prog.finalize();
+        if (opts.verify && !opts.verify(prog)) {
+            prog = std::move(backup);
+            ++res.rejectedVerify;
+            continue;
+        }
+        if (opts.cost) {
+            uint64_t c = opts.cost(prog);
+            if (c > bestCost) {
+                prog = std::move(backup);
+                ++res.rejectedCost;
+                continue;
+            }
+            bestCost = c;
+        }
+        ++res.applied;
+        if (deletesInst(rw))
+            ++res.removedSetups;
+        if (rw.kind == SetupRewrite::Kind::TrimNum)
+            res.trimmedSlots += std::max(0, slotsBefore - std::max(0, rw.newNum));
+    }
+    return res;
+}
+
+} // namespace noreba

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Setup-instruction cleanup pass: applies candidate rewrites that
+ * delete or shrink the pass's setBranchId/setDependency records
+ * without losing dependence coverage.
+ *
+ * The pass itself is deliberately mechanism-only. It knows how to
+ * delete an arming, merge two adjacent dependency regions, or trim a
+ * region's NUM — but it decides nothing: callers supply the candidate
+ * list (computed by src/analysis/precision.h from the independent
+ * checker's dependence model) and two gate callbacks. Every rewrite
+ * is applied to a scratch copy and committed only if
+ *
+ *  1. `verify` (typically verifyProgram + checkAnnotations) accepts
+ *     the rewritten program — the independent checker re-proves full
+ *     must-dependence coverage after every single rewrite; and
+ *  2. `cost` (typically simulated cycles) does not increase — the
+ *     equal-or-improved CoreStats guarantee is enforced empirically,
+ *     per rewrite, not assumed.
+ *
+ * A rewrite failing either gate is rolled back and counted, never
+ * partially applied. This layering keeps the compiler library free of
+ * any dependency on the analysis library that validates it.
+ */
+
+#ifndef NOREBA_COMPILER_ANNOTATION_OPT_H
+#define NOREBA_COMPILER_ANNOTATION_OPT_H
+
+#include <functional>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace noreba {
+
+/** One candidate setup-instruction rewrite. */
+struct SetupRewrite
+{
+    enum class Kind
+    {
+        /** Delete a setBranchId whose arming no region ever reads. */
+        DeleteSetBranchId,
+        /** Delete a setup instruction in an unreachable block. */
+        DeleteSetup,
+        /**
+         * Fold region at `idx` into the adjacent earlier region at
+         * `intoIdx` (same block): the earlier setDependency is
+         * rewritten to cover both with `newNum`/`sens`/`strict`, the
+         * later one deleted.
+         */
+        MergeRegions,
+        /**
+         * Shrink a region's NUM to `newNum` (trailing covered
+         * instructions proved dependence-free); newNum 0 deletes the
+         * setDependency entirely.
+         */
+        TrimNum,
+    };
+
+    Kind kind = Kind::DeleteSetup;
+    int bb = -1;       //!< block of the target setup instruction
+    int idx = -1;      //!< its index within the block
+    int intoIdx = -1;  //!< MergeRegions: earlier setDependency index
+    int newNum = 0;    //!< MergeRegions/TrimNum: resulting NUM
+    bool sens = false, strict = false; //!< resulting region flags
+};
+
+const char *setupRewriteKindName(SetupRewrite::Kind k);
+
+/** Gates and knobs for applySetupRewrites(). */
+struct OptOptions
+{
+    /**
+     * Soundness gate, run after every rewrite on the rewritten
+     * program; returning false rolls the rewrite back. Callers wire
+     * the independent annotation checker here. Empty = accept.
+     */
+    std::function<bool(const Program &)> verify;
+    /**
+     * Performance gate: a cost measure (e.g. simulated cycles). A
+     * rewrite is kept only if cost does not increase relative to the
+     * best program so far. Empty = no cost gating.
+     */
+    std::function<uint64_t(const Program &)> cost;
+};
+
+/** What applySetupRewrites() did. */
+struct OptResult
+{
+    int attempted = 0;      //!< rewrites tried
+    int applied = 0;        //!< rewrites committed
+    int removedSetups = 0;  //!< setup instructions deleted
+    int trimmedSlots = 0;   //!< region slots removed by TrimNum
+    int rejectedInvalid = 0; //!< target no longer matches (stale)
+    int rejectedVerify = 0; //!< rolled back by the verify gate
+    int rejectedCost = 0;   //!< rolled back by the cost gate
+
+    void accumulate(const OptResult &o)
+    {
+        attempted += o.attempted;
+        applied += o.applied;
+        removedSetups += o.removedSetups;
+        trimmedSlots += o.trimmedSlots;
+        rejectedInvalid += o.rejectedInvalid;
+        rejectedVerify += o.rejectedVerify;
+        rejectedCost += o.rejectedCost;
+    }
+};
+
+/**
+ * Apply the candidate rewrites to `prog`, one at a time, each gated
+ * by opts.verify and opts.cost with full rollback on rejection.
+ * Candidates are processed per block in descending instruction index
+ * so earlier indices stay valid across committed deletions; indices
+ * must refer to the program as passed in.
+ */
+OptResult applySetupRewrites(Program &prog,
+                             std::vector<SetupRewrite> rewrites,
+                             const OptOptions &opts = {});
+
+} // namespace noreba
+
+#endif // NOREBA_COMPILER_ANNOTATION_OPT_H

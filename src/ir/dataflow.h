@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Generic worklist dataflow engine over dense bitset lattices.
+ *
+ * Every iterative analysis in this codebase has the same shape: a
+ * finite graph, one bitset per node, a gen/kill transfer, and a
+ * union or intersection meet, iterated to the least (union) or
+ * greatest (intersection) fixpoint. This header factors that shape
+ * out once:
+ *
+ *  - DataflowGraph: explicit node/edge lists, so clients can solve
+ *    over the CFG, the reversed CFG, or any derived graph (e.g. the
+ *    checker's virtual-root dominance walk graph);
+ *  - GenKillProblem: direction, meet, per-node GEN/KILL rows, and an
+ *    optional set of boundary nodes whose OUT is pinned;
+ *  - solveDataflow(): a worklist scheduled by reverse-post-order
+ *    rank in the iteration direction.
+ *
+ * Because gen/kill transfers are monotone over a finite lattice, the
+ * fixpoint is unique — the schedule only affects how fast it is
+ * reached, never which sets come out. Ports of the bespoke loops in
+ * reaching_defs.cc and the annotation checker's DomSets are therefore
+ * bit-identical to the originals by construction (and asserted so in
+ * tests/reaching_defs_test.cc).
+ *
+ * Conventions: `in[n]` is the meet over the incoming neighbors'
+ * `out` rows (predecessors for Forward, successors for Backward), and
+ * `out[n] = gen[n] | (in[n] & ~kill[n])`. For a Backward problem
+ * `in` is the value at node *exit* (e.g. live-out) and `out` the
+ * value at node *entry* (live-in).
+ */
+
+#ifndef NOREBA_IR_DATAFLOW_H
+#define NOREBA_IR_DATAFLOW_H
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "ir/function.h"
+
+namespace noreba {
+
+enum class Direction { Forward, Backward };
+enum class Meet { Union, Intersect };
+
+/** Explicit directed graph the engine iterates over. */
+class DataflowGraph
+{
+  public:
+    explicit DataflowGraph(int numNodes)
+        : preds_(static_cast<size_t>(numNodes)),
+          succs_(static_cast<size_t>(numNodes))
+    {
+    }
+
+    /** The block-level CFG of a function (node id = block id). */
+    static DataflowGraph fromCfg(const Function &fn)
+    {
+        DataflowGraph g(static_cast<int>(fn.numBlocks()));
+        for (int b = 0; b < static_cast<int>(fn.numBlocks()); ++b)
+            for (int s : fn.block(b).succs)
+                g.addEdge(b, s);
+        return g;
+    }
+
+    void addEdge(int from, int to)
+    {
+        succs_[static_cast<size_t>(from)].push_back(to);
+        preds_[static_cast<size_t>(to)].push_back(from);
+    }
+
+    int numNodes() const { return static_cast<int>(preds_.size()); }
+    const std::vector<int> &preds(int n) const
+    {
+        return preds_[static_cast<size_t>(n)];
+    }
+    const std::vector<int> &succs(int n) const
+    {
+        return succs_[static_cast<size_t>(n)];
+    }
+
+  private:
+    std::vector<std::vector<int>> preds_, succs_;
+};
+
+/**
+ * A gen/kill bitvector problem. GEN and KILL are flat row-major
+ * arrays, numNodes rows of words() words each; boundary nodes keep
+ * OUT = their GEN row and are never recomputed.
+ */
+struct GenKillProblem
+{
+    Direction direction = Direction::Forward;
+    Meet meet = Meet::Union;
+    size_t numBits = 0;
+    std::vector<uint64_t> gen, kill;
+    std::vector<int> boundary;
+
+    size_t words() const { return (numBits + 63) / 64; }
+
+    /** Size gen/kill for `numNodes` rows of the current width. */
+    void resize(int numNodes)
+    {
+        gen.assign(static_cast<size_t>(numNodes) * words(), 0);
+        kill.assign(static_cast<size_t>(numNodes) * words(), 0);
+    }
+
+    uint64_t *genRow(int n) { return gen.data() + rowOff(n); }
+    uint64_t *killRow(int n) { return kill.data() + rowOff(n); }
+
+    void setGen(int n, size_t bit) { setBit(genRow(n), bit); }
+    void setKill(int n, size_t bit) { setBit(killRow(n), bit); }
+
+    static void setBit(uint64_t *row, size_t bit)
+    {
+        row[bit >> 6] |= uint64_t{1} << (bit & 63);
+    }
+    static void clearBit(uint64_t *row, size_t bit)
+    {
+        row[bit >> 6] &= ~(uint64_t{1} << (bit & 63));
+    }
+    static bool testBit(const uint64_t *row, size_t bit)
+    {
+        return (row[bit >> 6] >> (bit & 63)) & 1;
+    }
+
+  private:
+    size_t rowOff(int n) const
+    {
+        return static_cast<size_t>(n) * words();
+    }
+};
+
+/** Solved IN/OUT rows (see the header comment for their meaning). */
+struct DataflowResult
+{
+    size_t numBits = 0;
+    std::vector<uint64_t> in, out;
+
+    size_t words() const { return (numBits + 63) / 64; }
+    const uint64_t *inRow(int n) const
+    {
+        return in.data() + static_cast<size_t>(n) * words();
+    }
+    const uint64_t *outRow(int n) const
+    {
+        return out.data() + static_cast<size_t>(n) * words();
+    }
+    bool inTest(int n, size_t bit) const
+    {
+        return GenKillProblem::testBit(inRow(n), bit);
+    }
+    bool outTest(int n, size_t bit) const
+    {
+        return GenKillProblem::testBit(outRow(n), bit);
+    }
+};
+
+namespace dataflow_detail {
+
+/**
+ * Reverse-post-order ranks in the iteration direction, covering every
+ * node (unreached components are appended in index order). Purely a
+ * schedule: the fixpoint does not depend on it.
+ */
+inline std::vector<int>
+rpoRanks(const DataflowGraph &g, Direction dir)
+{
+    const int n = g.numNodes();
+    std::vector<int> postorder;
+    postorder.reserve(static_cast<size_t>(n));
+    std::vector<int> state(static_cast<size_t>(n), 0);
+    std::vector<std::pair<int, size_t>> stack;
+    for (int root = 0; root < n; ++root) {
+        if (state[static_cast<size_t>(root)] != 0)
+            continue;
+        stack.emplace_back(root, 0);
+        state[static_cast<size_t>(root)] = 1;
+        while (!stack.empty()) {
+            auto &[node, ei] = stack.back();
+            const std::vector<int> &next = dir == Direction::Forward
+                                               ? g.succs(node)
+                                               : g.preds(node);
+            if (ei < next.size()) {
+                int t = next[ei++];
+                if (state[static_cast<size_t>(t)] == 0) {
+                    state[static_cast<size_t>(t)] = 1;
+                    stack.emplace_back(t, 0);
+                }
+            } else {
+                postorder.push_back(node);
+                stack.pop_back();
+            }
+        }
+    }
+    std::vector<int> rank(static_cast<size_t>(n), 0);
+    int r = 0;
+    for (auto it = postorder.rbegin(); it != postorder.rend(); ++it)
+        rank[static_cast<size_t>(*it)] = r++;
+    return rank;
+}
+
+} // namespace dataflow_detail
+
+/**
+ * Solve a gen/kill problem to its fixpoint. Non-boundary OUT rows are
+ * initialized to the meet identity (empty for Union, full for
+ * Intersect), so an Intersect problem converges to the maximal
+ * fixpoint and a Union problem to the minimal one.
+ */
+inline DataflowResult
+solveDataflow(const DataflowGraph &g, const GenKillProblem &p)
+{
+    const int n = g.numNodes();
+    const size_t words = p.words();
+    panic_if(p.gen.size() != static_cast<size_t>(n) * words ||
+                 p.kill.size() != static_cast<size_t>(n) * words,
+             "gen/kill rows not sized for the graph");
+
+    DataflowResult res;
+    res.numBits = p.numBits;
+    res.in.assign(static_cast<size_t>(n) * words, 0);
+    res.out.assign(static_cast<size_t>(n) * words, 0);
+    if (n == 0 || words == 0)
+        return res;
+
+    const uint64_t tailMask = p.numBits % 64
+                                  ? (uint64_t{1} << (p.numBits % 64)) - 1
+                                  : ~uint64_t{0};
+    auto inRow = [&](int b) {
+        return res.in.data() + static_cast<size_t>(b) * words;
+    };
+    auto outRow = [&](int b) {
+        return res.out.data() + static_cast<size_t>(b) * words;
+    };
+    auto genRow = [&](int b) {
+        return p.gen.data() + static_cast<size_t>(b) * words;
+    };
+    auto killRow = [&](int b) {
+        return p.kill.data() + static_cast<size_t>(b) * words;
+    };
+
+    std::vector<bool> pinned(static_cast<size_t>(n), false);
+    for (int b : p.boundary)
+        pinned[static_cast<size_t>(b)] = true;
+
+    for (int b = 0; b < n; ++b) {
+        uint64_t *out = outRow(b);
+        if (pinned[static_cast<size_t>(b)]) {
+            std::copy(genRow(b), genRow(b) + words, out);
+        } else if (p.meet == Meet::Intersect) {
+            std::fill(out, out + words, ~uint64_t{0});
+            out[words - 1] &= tailMask;
+        }
+    }
+
+    // Worklist ordered by RPO rank in the iteration direction.
+    const std::vector<int> rank =
+        dataflow_detail::rpoRanks(g, p.direction);
+    std::vector<int> order(static_cast<size_t>(n));
+    for (int b = 0; b < n; ++b)
+        order[static_cast<size_t>(rank[static_cast<size_t>(b)])] = b;
+    std::vector<bool> queued(static_cast<size_t>(n), false);
+    // (rank, node) pairs kept sorted; extracted lowest-rank first.
+    std::vector<std::pair<int, int>> heap;
+    auto push = [&](int b) {
+        if (pinned[static_cast<size_t>(b)] ||
+            queued[static_cast<size_t>(b)])
+            return;
+        queued[static_cast<size_t>(b)] = true;
+        heap.emplace_back(-rank[static_cast<size_t>(b)], b);
+        std::push_heap(heap.begin(), heap.end());
+    };
+    for (int b : order)
+        push(b);
+
+    std::vector<uint64_t> tmp(words);
+    while (!heap.empty()) {
+        std::pop_heap(heap.begin(), heap.end());
+        int b = heap.back().second;
+        heap.pop_back();
+        queued[static_cast<size_t>(b)] = false;
+
+        const std::vector<int> &inputs = p.direction ==
+                                                 Direction::Forward
+                                             ? g.preds(b)
+                                             : g.succs(b);
+        if (p.meet == Meet::Intersect) {
+            std::fill(tmp.begin(), tmp.end(), ~uint64_t{0});
+            tmp[words - 1] &= tailMask;
+            for (int m : inputs)
+                for (size_t w = 0; w < words; ++w)
+                    tmp[w] &= outRow(m)[w];
+        } else {
+            std::fill(tmp.begin(), tmp.end(), 0);
+            for (int m : inputs)
+                for (size_t w = 0; w < words; ++w)
+                    tmp[w] |= outRow(m)[w];
+        }
+        std::copy(tmp.begin(), tmp.end(), inRow(b));
+
+        bool changed = false;
+        for (size_t w = 0; w < words; ++w) {
+            uint64_t v = genRow(b)[w] | (tmp[w] & ~killRow(b)[w]);
+            if (v != outRow(b)[w]) {
+                outRow(b)[w] = v;
+                changed = true;
+            }
+        }
+        if (!changed)
+            continue;
+        const std::vector<int> &outputs = p.direction ==
+                                                  Direction::Forward
+                                              ? g.succs(b)
+                                              : g.preds(b);
+        for (int s : outputs)
+            push(s);
+    }
+    return res;
+}
+
+} // namespace noreba
+
+#endif // NOREBA_IR_DATAFLOW_H

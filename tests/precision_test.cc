@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Tests for the annotation precision linter (src/analysis/precision.h)
+ * and the setup-cleanup optimizer (src/compiler/annotation_opt.h).
+ *
+ * Mirrors the annotation checker's corruption catalogue, but for
+ * *imprecision* rather than unsoundness: each fixture plants one kind
+ * of wasteful-but-correct annotation — a dead arming, a subsumed
+ * adjacent region, an inflated NUM, a setup in unreachable code — and
+ * the linter must flag it with the expected rule while the checker
+ * still proves the program sound. The optimizer must then remove the
+ * waste, keep the checker clean, and preserve architectural state.
+ *
+ * The registry tests pin the end-to-end contract from the issue: the
+ * linter never errors on pass output, and optimizeAnnotations with a
+ * simulated-cycles cost measure removes setups somewhere in the
+ * registry without regressing any workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/annotation_checker.h"
+#include "analysis/diagnostics.h"
+#include "analysis/precision.h"
+#include "analysis/verifier.h"
+#include "compiler/annotation_opt.h"
+#include "compiler/branch_dep.h"
+#include "interp/interpreter.h"
+#include "ir/builder.h"
+#include "isa/setup_encoding.h"
+#include "test_util.h"
+#include "workloads/workloads.h"
+
+namespace noreba {
+namespace {
+
+Diagnostics
+lint(const Program &prog)
+{
+    Diagnostics diag(prog.name());
+    verifyProgram(prog, diag);
+    checkAnnotations(prog, diag);
+    return diag;
+}
+
+int
+countSetups(const Program &prog)
+{
+    int n = 0;
+    for (const BasicBlock &bb : prog.function().blocks())
+        for (const Instruction &inst : bb.insts)
+            if (isSetup(inst.op))
+                ++n;
+    return n;
+}
+
+uint64_t
+checksum(const Program &prog, uint64_t cap = 25000)
+{
+    Interpreter interp(prog);
+    InterpOptions opts;
+    opts.maxDynInsts = cap;
+    interp.run(opts);
+    return interp.regChecksum();
+}
+
+/** Same small loop the checker's corruption catalogue uses; the pass
+ *  emits a representative multi-region annotation for it. */
+Program
+fixture()
+{
+    Program prog("fixture");
+    uint64_t scratch = prog.allocGlobal(64);
+    const AliasRegion R = 1;
+    IRBuilder b(prog);
+    int entry = b.newBlock("entry");
+    int loop = b.newBlock("loop");
+    int thenB = b.newBlock("then");
+    int latch = b.newBlock("latch");
+    int exit = b.newBlock("exit");
+    b.at(entry)
+        .li(S2, static_cast<int64_t>(scratch))
+        .li(S3, 0)
+        .li(S4, 100)
+        .li(S5, 0)
+        .li(S6, 1)
+        .fallthrough(loop);
+    b.at(loop).andi(T0, S3, 1).bne(T0, ZERO, thenB, latch);
+    b.at(thenB).add(S5, S5, S6).sd(S5, S2, 0, R).jump(latch);
+    b.at(latch)
+        .ld(T1, S2, 0, R)
+        .add(S6, S6, T1)
+        .addi(S3, S3, 1)
+        .blt(S3, S4, loop, exit);
+    b.at(exit).halt();
+    prog.finalize();
+    return prog;
+}
+
+Program
+annotatedFixture()
+{
+    Program prog = fixture();
+    runBranchDependencePass(prog);
+    return prog;
+}
+
+//
+// Redundancy catalogue: one fixture per lint rule. Each program is
+// sound (the checker proves it) but wasteful in exactly one way.
+//
+
+// 1. A branch is armed with an ID no setDependency ever reads.
+TEST(Precision, FlagsDeadSetBranchId)
+{
+    Program prog("dead-arm");
+    IRBuilder b(prog);
+    int entry = b.newBlock("entry");
+    int a = b.newBlock("a");
+    // Both edges reconverge immediately, so the branch's control
+    // region is empty and nothing downstream needs coverage — the
+    // arming is pure waste.
+    b.at(entry).li(T0, 1).beq(T0, ZERO, a, a);
+    b.at(a).halt();
+    auto &insts = prog.function().block(entry).insts;
+    insts.insert(insts.begin() + 1, makeSetBranchId(1));
+    prog.finalize();
+
+    Diagnostics base = lint(prog);
+    ASSERT_EQ(base.errorCount(), 0) << base.toText();
+
+    Diagnostics diag(prog.name());
+    PrecisionReport rep = analyzePrecision(prog, &diag);
+    EXPECT_EQ(diag.errorCount(), 0) << diag.toText();
+    EXPECT_TRUE(diag.hasRule("dead-set-branch-id")) << diag.toText();
+    EXPECT_EQ(rep.deadArmings, 1);
+
+    OptResult r = optimizeAnnotations(prog);
+    EXPECT_EQ(r.removedSetups, 1);
+    EXPECT_EQ(countSetups(prog), 0);
+    Diagnostics post = lint(prog);
+    EXPECT_EQ(post.errorCount(), 0) << post.toText();
+    PrecisionReport rep2 = analyzePrecision(prog);
+    EXPECT_EQ(rep2.deadArmings, 0);
+}
+
+// 2. A region is split into two adjacent regions with the same guard
+//    — semantically identical to the original, so the second region
+//    is subsumed and the optimizer must merge them back.
+TEST(Precision, FlagsSubsumedAdjacentRegions)
+{
+    Program prog = annotatedFixture();
+    auto &insts = prog.function().block(3).insts; // latch
+    ASSERT_EQ(insts[0].op, Opcode::SET_DEPENDENCY);
+    ASSERT_EQ(setDependencyNum(insts[0]), 2);
+    const int id = setDependencyId(insts[0]);
+    const bool sens = setDependencySensitive(insts[0]);
+    insts[0] = makeSetDependency(1, id, sens);
+    insts.insert(insts.begin() + 2, makeSetDependency(1, id, sens));
+    prog.finalize();
+    const int setupsBefore = countSetups(prog);
+    const uint64_t sumBefore = checksum(prog);
+
+    // The split program is still sound...
+    Diagnostics base = lint(prog);
+    ASSERT_EQ(base.errorCount(), 0) << base.toText();
+
+    // ... but the linter sees the redundancy.
+    Diagnostics diag(prog.name());
+    PrecisionReport rep = analyzePrecision(prog, &diag);
+    EXPECT_EQ(diag.errorCount(), 0) << diag.toText();
+    EXPECT_TRUE(diag.hasRule("subsumed-set-dependency"))
+        << diag.toText();
+    EXPECT_GE(rep.subsumedRegions, 1);
+
+    OptResult r = optimizeAnnotations(prog);
+    EXPECT_GE(r.removedSetups, 1);
+    EXPECT_LT(countSetups(prog), setupsBefore);
+    Diagnostics post = lint(prog);
+    EXPECT_EQ(post.errorCount(), 0) << post.toText();
+    EXPECT_EQ(checksum(prog), sumBefore);
+}
+
+// 3. A region's NUM covers trailing instructions with no dependence
+//    on any branch.
+TEST(Precision, FlagsInflatedNum)
+{
+    Program prog("overcount");
+    IRBuilder b(prog);
+    int b0 = b.newBlock("b0");
+    int b1 = b.newBlock("b1");
+    int b2 = b.newBlock("b2");
+    int b3 = b.newBlock("b3");
+    b.at(b0).li(S2, 0).li(S3, 9).blt(S2, S3, b1, b2);
+    b.at(b1).li(T0, 1).jump(b3);
+    b.at(b2).li(T0, 2).jump(b3);
+    // At the join only the first covered instruction depends
+    // (through T0) on the branch; the trailing two are independent,
+    // so NUM=3 over-counts by two slots.
+    b.at(b3).add(T1, T0, T0).li(T2, 5).add(T3, T2, T2).halt();
+    auto &armBlk = prog.function().block(b0).insts;
+    armBlk.insert(armBlk.begin() + 2, makeSetBranchId(1));
+    // The arms are control dependent on the branch and need exact
+    // covers of their own.
+    for (int arm : {b1, b2}) {
+        auto &ai = prog.function().block(arm).insts;
+        ai.insert(ai.begin(), makeSetDependency(2, 1, true));
+    }
+    auto &covBlk = prog.function().block(b3).insts;
+    covBlk.insert(covBlk.begin(), makeSetDependency(3, 1, true));
+    prog.finalize();
+    const uint64_t sumBefore = checksum(prog);
+
+    Diagnostics base = lint(prog);
+    ASSERT_EQ(base.errorCount(), 0) << base.toText();
+
+    Diagnostics diag(prog.name());
+    PrecisionReport rep = analyzePrecision(prog, &diag);
+    EXPECT_EQ(diag.errorCount(), 0) << diag.toText();
+    EXPECT_TRUE(diag.hasRule("region-overcount")) << diag.toText();
+    EXPECT_EQ(rep.overcountSlots, 2);
+
+    OptResult r = optimizeAnnotations(prog);
+    EXPECT_EQ(r.trimmedSlots, 2);
+    const Instruction &dep = prog.function().block(b3).insts[0];
+    ASSERT_EQ(dep.op, Opcode::SET_DEPENDENCY);
+    EXPECT_EQ(setDependencyNum(dep), 1);
+    Diagnostics post = lint(prog);
+    EXPECT_EQ(post.errorCount(), 0) << post.toText();
+    EXPECT_EQ(checksum(prog), sumBefore);
+    PrecisionReport rep2 = analyzePrecision(prog);
+    EXPECT_EQ(rep2.overcountSlots, 0);
+}
+
+// 4. A setup instruction sits in a block the CFG can never reach.
+TEST(Precision, FlagsUnreachableAnnotation)
+{
+    Program prog = fixture();
+    IRBuilder b(prog);
+    int dead = b.newBlock("dead");
+    b.at(dead).add(T4, T4, T4).halt();
+    auto &insts = prog.function().block(dead).insts;
+    insts.insert(insts.begin(), makeSetDependency(1, 1, false));
+    prog.finalize();
+
+    Diagnostics diag(prog.name());
+    PrecisionReport rep = analyzePrecision(prog, &diag);
+    EXPECT_EQ(diag.errorCount(), 0) << diag.toText();
+    EXPECT_TRUE(diag.hasRule("unreachable-annotation"))
+        << diag.toText();
+    EXPECT_EQ(rep.unreachableSetups, 1);
+
+    OptResult r = optimizeAnnotations(prog);
+    EXPECT_EQ(r.removedSetups, 1);
+    PrecisionReport rep2 = analyzePrecision(prog);
+    EXPECT_EQ(rep2.unreachableSetups, 0);
+}
+
+//
+// Mechanism layer: applySetupRewrites on bad input.
+//
+
+TEST(AnnotationOpt, RejectsStaleAndUnsoundRewrites)
+{
+    Program prog = annotatedFixture();
+    const int setups = countSetups(prog);
+
+    // A rewrite whose coordinates no longer name a setup is rejected
+    // as invalid without touching the program.
+    SetupRewrite stale;
+    stale.kind = SetupRewrite::Kind::DeleteSetup;
+    stale.bb = 0;
+    stale.idx = 0; // entry's first inst is an li, not a setup
+    OptResult r1 = applySetupRewrites(prog, {stale});
+    EXPECT_EQ(r1.applied, 0);
+    EXPECT_EQ(r1.rejectedInvalid, 1);
+    EXPECT_EQ(countSetups(prog), setups);
+
+    // Deleting a load-bearing region trips the verify gate and rolls
+    // back.
+    SetupRewrite unsound;
+    unsound.kind = SetupRewrite::Kind::DeleteSetup;
+    unsound.bb = 3; // latch's first region guards real dependences
+    unsound.idx = 0;
+    OptOptions opts;
+    opts.verify = [](const Program &p) {
+        Diagnostics d(p.name());
+        verifyProgram(p, d);
+        checkAnnotations(p, d);
+        return d.errorCount() == 0;
+    };
+    OptResult r2 = applySetupRewrites(prog, {unsound}, opts);
+    EXPECT_EQ(r2.applied, 0);
+    EXPECT_EQ(r2.rejectedVerify, 1);
+    EXPECT_EQ(countSetups(prog), setups);
+    EXPECT_EQ(lint(prog).errorCount(), 0);
+}
+
+//
+// Report plumbing.
+//
+
+TEST(Precision, ReportJsonCarriesSchema)
+{
+    Program prog = annotatedFixture();
+    Diagnostics diag(prog.name());
+    PrecisionReport rep = analyzePrecision(prog, &diag);
+    EXPECT_TRUE(rep.annotated);
+    EXPECT_GT(rep.setupInsts, 0);
+    EXPECT_GT(rep.staticSetupFraction(), 0.0);
+    EXPECT_LT(rep.staticSetupFraction(), 1.0);
+    EXPECT_GE(rep.overMarkingRate(), 0.0);
+
+    JsonValue j = rep.toJson();
+    for (const char *key :
+         {"setupInsts", "staticSetupFraction", "dynSetupFraction",
+          "overMarkingRate", "deadArmings", "subsumedRegions",
+          "overcountSlots", "unreachableSetups", "perBranch"})
+        EXPECT_NE(j.find(key), nullptr) << key;
+}
+
+//
+// Registry contract.
+//
+
+TEST(Precision, RegistryLintIsWarningOnly)
+{
+    for (const std::string &name : workloadNames()) {
+        Program prog = buildWorkload(name);
+        runBranchDependencePass(prog);
+        Diagnostics diag(name);
+        PrecisionReport rep = analyzePrecision(prog, &diag);
+        EXPECT_EQ(diag.errorCount(), 0) << name << "\n"
+                                        << diag.toText();
+        // The pass never arms dead IDs or annotates unreachable code.
+        EXPECT_EQ(rep.deadArmings, 0) << name;
+        EXPECT_EQ(rep.unreachableSetups, 0) << name;
+        EXPECT_GE(rep.overMarkingRate(), 0.0) << name;
+    }
+}
+
+TEST(Precision, OptimizerNeverRegressesRegistry)
+{
+    constexpr uint64_t kCap = 300000;
+    auto cycles = [](const Program &p) {
+        testutil::Prepared prep = testutil::prepare(p, kCap);
+        return testutil::run(prep, CommitMode::Noreba).cycles;
+    };
+    int totalRemoved = 0;
+    for (const std::string &name : workloadNames()) {
+        Program prog = buildWorkload(name);
+        runBranchDependencePass(prog);
+        const uint64_t before = cycles(prog);
+        const uint64_t sumBefore = checksum(prog, kCap);
+        OptResult r = optimizeAnnotations(prog, cycles);
+        totalRemoved += r.removedSetups;
+        EXPECT_EQ(r.rejectedInvalid, 0) << name;
+        // The cost gate guarantees equal-or-better cycles, and no
+        // rewrite may disturb architectural state or the proofs.
+        EXPECT_LE(cycles(prog), before) << name;
+        EXPECT_EQ(checksum(prog, kCap), sumBefore) << name;
+        Diagnostics post = lint(prog);
+        EXPECT_EQ(post.errorCount(), 0) << name << "\n"
+                                        << post.toText();
+    }
+    // The issue's acceptance bar: at least one registry workload
+    // carries a provably-removable setup instruction.
+    EXPECT_GE(totalRemoved, 1);
+}
+
+} // namespace
+} // namespace noreba

@@ -2,8 +2,9 @@
  * @file
  * noreba-verify: static lint/verification CLI.
  *
- * Runs the structural IR verifier and the independent annotation
- * checker (src/analysis) over registered workloads or an assembled
+ * Runs the structural IR verifier, the independent annotation checker,
+ * and (on request) the annotation precision linter and setup-cleanup
+ * optimizer (src/analysis) over registered workloads or an assembled
  * program, and reports findings as text and optionally JSON.
  *
  *   noreba-verify                    lint every registered workload,
@@ -12,10 +13,27 @@
  *   noreba-verify --asm file.s       lint an assembly file
  *   noreba-verify --json out.json    also write machine-readable
  *                                    findings ("-" = stdout)
+ *   noreba-verify --lint             add the precision lint rules
+ *                                    (dead-set-branch-id,
+ *                                    subsumed-set-dependency,
+ *                                    region-overcount,
+ *                                    unreachable-annotation)
+ *   noreba-verify --precision-json P write per-run precision/overhead
+ *                                    reports ("-" = stdout)
+ *   noreba-verify --optimize         run the setup-cleanup optimizer
+ *                                    (checker-verified, cycle-gated)
+ *                                    before linting annotated runs
+ *   noreba-verify --baseline B.json  diff finding counts and setup
+ *                                    overhead against a committed
+ *                                    baseline; new findings or
+ *                                    overhead regressions fail
+ *   noreba-verify --write-baseline B regenerate that baseline file
+ *   noreba-verify --werror           treat warnings as errors
  *   noreba-verify --no-annotate      skip the pass; structural lint only
  *   noreba-verify --list             list registered workloads
  *
- * Exit status: 0 = no errors, 1 = errors found, 2 = usage/IO failure.
+ * Exit status: 0 = no errors, 1 = errors (or --werror warnings, or
+ * baseline regressions) found, 2 = usage/IO failure.
  */
 
 #include <fstream>
@@ -26,44 +44,198 @@
 
 #include "analysis/annotation_checker.h"
 #include "analysis/diagnostics.h"
+#include "analysis/precision.h"
 #include "analysis/verifier.h"
 #include "common/json.h"
 #include "compiler/branch_dep.h"
+#include "interp/interpreter.h"
 #include "ir/assembler.h"
+#include "sim/runner.h"
+#include "uarch/core.h"
 #include "workloads/workloads.h"
 
 namespace {
 
 using namespace noreba;
 
+/** Dynamic-instruction cap for precision traces and optimizer cost. */
+constexpr uint64_t kDynCap = 400000;
+
+struct ToolOptions
+{
+    bool lint = false;
+    bool optimize = false;
+    bool precision = false; //!< fill dynamic overhead numbers
+    bool quiet = false;
+};
+
 struct RunRecord
 {
     std::string unit;
     bool annotated = false;
     Diagnostics diag;
+    bool hasReport = false;
+    PrecisionReport report;
+    bool optimized = false;
+    OptResult opt;
 };
 
-/** Verify one program; annotate first when asked. */
+/** Simulated Noreba-mode cycles: the optimizer's cost measure. */
+uint64_t
+simulatedCycles(const Program &prog)
+{
+    Interpreter interp(prog);
+    InterpOptions io;
+    io.maxDynInsts = kDynCap;
+    DynamicTrace trace = interp.run(io);
+    std::vector<uint8_t> misp = precomputeMispredictions(trace);
+    CoreConfig cfg = skylakeConfig();
+    cfg.commitMode = CommitMode::Noreba;
+    Core core(cfg, trace, misp);
+    return core.run().cycles;
+}
+
+/** Verify one program; annotate/optimize/lint it first when asked. */
 RunRecord
-lintProgram(Program &prog, bool annotate, bool quiet)
+lintProgram(Program &prog, bool annotate, const ToolOptions &tool)
 {
     RunRecord rec;
     rec.annotated = annotate;
     rec.unit = prog.name() + (annotate ? "+pass" : "");
     rec.diag = Diagnostics(rec.unit);
-    if (annotate)
+    if (annotate) {
         runBranchDependencePass(prog);
+        if (tool.optimize) {
+            rec.opt = optimizeAnnotations(prog, simulatedCycles);
+            rec.optimized = true;
+        }
+    }
     verifyProgram(prog, rec.diag);
     CheckOptions opts;
     opts.requireAnnotations = annotate;
     checkAnnotations(prog, rec.diag, opts);
-    if (!quiet) {
+    if (tool.lint || tool.precision) {
+        rec.report = analyzePrecision(
+            prog, tool.lint ? &rec.diag : nullptr, nullptr);
+        rec.hasReport = true;
+        if (tool.precision) {
+            Interpreter interp(prog);
+            InterpOptions io;
+            io.maxDynInsts = kDynCap;
+            DynamicTrace trace = interp.run(io);
+            rec.report.dynInsts = trace.dynInsts;
+            rec.report.dynSetups = trace.setupInsts;
+        }
+    }
+    if (!tool.quiet) {
         if (rec.diag.findings().empty())
             std::cout << rec.unit << ": clean\n";
         else
             std::cout << rec.diag.toText();
+        if (rec.optimized && rec.opt.applied > 0)
+            std::cout << rec.unit << ": optimizer removed "
+                      << rec.opt.removedSetups
+                      << " setup instruction(s), trimmed "
+                      << rec.opt.trimmedSlots << " slot(s)\n";
     }
     return rec;
+}
+
+bool
+writeDoc(const JsonValue &doc, const std::string &path,
+         const char *what)
+{
+    if (path == "-") {
+        std::cout << doc.dump(2) << '\n';
+        return true;
+    }
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "noreba-verify: cannot write " << what << " "
+                  << path << '\n';
+        return false;
+    }
+    out << doc.dump(2) << '\n';
+    return true;
+}
+
+JsonValue
+baselineDoc(const std::vector<RunRecord> &runs)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("tool", std::string("noreba-verify"));
+    doc.set("schemaVersion", 1);
+    JsonValue units = JsonValue::object();
+    for (const RunRecord &r : runs) {
+        JsonValue u = JsonValue::object();
+        u.set("errors", r.diag.errorCount());
+        u.set("warnings", r.diag.warningCount());
+        JsonValue byRule = JsonValue::object();
+        for (const auto &[rule, count] : r.diag.countsByRule())
+            byRule.set(rule, count);
+        u.set("byRule", std::move(byRule));
+        if (r.hasReport) {
+            u.set("setupInsts", r.report.setupInsts);
+            u.set("dynSetupFraction", r.report.dynSetupFraction());
+        }
+        units.set(r.unit, std::move(u));
+    }
+    doc.set("units", std::move(units));
+    return doc;
+}
+
+/** Diff current runs against a committed baseline; returns #regressions. */
+int
+diffBaseline(const std::vector<RunRecord> &runs,
+             const JsonValue &baseline)
+{
+    const JsonValue *units = baseline.find("units");
+    if (!units || !units->isObject()) {
+        std::cerr << "noreba-verify: baseline has no \"units\" object\n";
+        return 1;
+    }
+    int regressions = 0;
+    auto complain = [&](const std::string &what) {
+        std::cerr << "baseline regression: " << what << '\n';
+        ++regressions;
+    };
+    for (const RunRecord &r : runs) {
+        const JsonValue *u = units->find(r.unit);
+        if (!u) {
+            if (!r.diag.findings().empty())
+                complain(r.unit + " is not in the baseline but has " +
+                         std::to_string(r.diag.findings().size()) +
+                         " finding(s)");
+            continue;
+        }
+        const JsonValue *byRule = u->find("byRule");
+        for (const auto &[rule, count] : r.diag.countsByRule()) {
+            const JsonValue *base =
+                byRule && byRule->isObject() ? byRule->find(rule)
+                                             : nullptr;
+            int64_t baseCount = base ? base->asInt() : 0;
+            if (count > baseCount)
+                complain(r.unit + ": rule " + rule + " went from " +
+                         std::to_string(baseCount) + " to " +
+                         std::to_string(count) + " finding(s)");
+        }
+        if (r.hasReport) {
+            const JsonValue *frac = u->find("dynSetupFraction");
+            // Allow rounding noise; anything above it is a real
+            // increase in dynamic setup overhead.
+            if (frac &&
+                r.report.dynSetupFraction() > frac->asDouble() + 1e-9)
+                complain(r.unit + ": dynSetupFraction went from " +
+                         std::to_string(frac->asDouble()) + " to " +
+                         std::to_string(r.report.dynSetupFraction()));
+            const JsonValue *setups = u->find("setupInsts");
+            if (setups && r.report.setupInsts > setups->asInt())
+                complain(r.unit + ": static setupInsts went from " +
+                         std::to_string(setups->asInt()) + " to " +
+                         std::to_string(r.report.setupInsts));
+        }
+    }
+    return regressions;
 }
 
 int
@@ -72,7 +244,9 @@ usage(const char *argv0)
     std::cerr
         << "usage: " << argv0
         << " [--list] [--asm FILE] [--json PATH|-] [--no-annotate]\n"
-        << "       [--quiet] [workload...]\n";
+        << "       [--lint] [--precision-json PATH|-] [--optimize]\n"
+        << "       [--baseline PATH] [--write-baseline PATH]\n"
+        << "       [--werror] [--quiet] [workload...]\n";
     return 2;
 }
 
@@ -82,9 +256,11 @@ int
 main(int argc, char **argv)
 {
     std::vector<std::string> units;
-    std::string asmFile, jsonPath;
+    std::string asmFile, jsonPath, precisionPath, baselinePath,
+        writeBaselinePath;
     bool annotate = true;
-    bool quiet = false;
+    bool werror = false;
+    ToolOptions tool;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -101,10 +277,31 @@ main(int argc, char **argv)
             if (++i >= argc)
                 return usage(argv[0]);
             jsonPath = argv[i];
+        } else if (arg == "--precision-json") {
+            if (++i >= argc)
+                return usage(argv[0]);
+            precisionPath = argv[i];
+            tool.precision = true;
+        } else if (arg == "--baseline") {
+            if (++i >= argc)
+                return usage(argv[0]);
+            baselinePath = argv[i];
+            tool.precision = true;
+        } else if (arg == "--write-baseline") {
+            if (++i >= argc)
+                return usage(argv[0]);
+            writeBaselinePath = argv[i];
+            tool.precision = true;
+        } else if (arg == "--lint") {
+            tool.lint = true;
+        } else if (arg == "--optimize") {
+            tool.optimize = true;
+        } else if (arg == "--werror") {
+            werror = true;
         } else if (arg == "--no-annotate") {
             annotate = false;
         } else if (arg == "--quiet") {
-            quiet = true;
+            tool.quiet = true;
         } else if (!arg.empty() && arg[0] == '-') {
             return usage(argv[0]);
         } else {
@@ -131,7 +328,7 @@ main(int argc, char **argv)
         }
         // Assembly input is linted as written: annotations, when
         // present, came from the file, so never re-run the pass.
-        runs.push_back(lintProgram(res.program, false, quiet));
+        runs.push_back(lintProgram(res.program, false, tool));
     } else {
         std::vector<std::string> names =
             units.empty() ? workloadNames() : units;
@@ -147,11 +344,11 @@ main(int argc, char **argv)
             }
             {
                 Program prog = buildWorkload(name);
-                runs.push_back(lintProgram(prog, false, quiet));
+                runs.push_back(lintProgram(prog, false, tool));
             }
             if (annotate) {
                 Program prog = buildWorkload(name);
-                runs.push_back(lintProgram(prog, true, quiet));
+                runs.push_back(lintProgram(prog, true, tool));
             }
         }
     }
@@ -177,21 +374,75 @@ main(int argc, char **argv)
         totals.set("errors", errors);
         totals.set("warnings", warnings);
         doc.set("totals", std::move(totals));
-        if (jsonPath == "-") {
-            std::cout << doc.dump(2) << '\n';
-        } else {
-            std::ofstream out(jsonPath);
-            if (!out) {
-                std::cerr << "noreba-verify: cannot write " << jsonPath
-                          << '\n';
-                return 2;
-            }
-            out << doc.dump(2) << '\n';
-        }
+        if (!writeDoc(doc, jsonPath, "JSON"))
+            return 2;
     }
 
-    if (!quiet)
+    if (!precisionPath.empty()) {
+        JsonValue doc = JsonValue::object();
+        doc.set("tool", std::string("noreba-verify"));
+        doc.set("schemaVersion", 1);
+        JsonValue arr = JsonValue::array();
+        for (const RunRecord &r : runs) {
+            if (!r.hasReport)
+                continue;
+            JsonValue run = r.report.toJson();
+            run.set("unit", r.unit);
+            run.set("annotatedRun", r.annotated);
+            if (r.optimized) {
+                JsonValue opt = JsonValue::object();
+                opt.set("attempted", r.opt.attempted);
+                opt.set("applied", r.opt.applied);
+                opt.set("removedSetups", r.opt.removedSetups);
+                opt.set("trimmedSlots", r.opt.trimmedSlots);
+                opt.set("rejectedVerify", r.opt.rejectedVerify);
+                opt.set("rejectedCost", r.opt.rejectedCost);
+                run.set("optimizer", std::move(opt));
+            }
+            arr.push(std::move(run));
+        }
+        doc.set("runs", std::move(arr));
+        if (!writeDoc(doc, precisionPath, "precision JSON"))
+            return 2;
+    }
+
+    if (!writeBaselinePath.empty() &&
+        !writeDoc(baselineDoc(runs), writeBaselinePath, "baseline"))
+        return 2;
+
+    int regressions = 0;
+    if (!baselinePath.empty()) {
+        std::ifstream in(baselinePath);
+        if (!in) {
+            std::cerr << "noreba-verify: cannot open baseline "
+                      << baselinePath << '\n';
+            return 2;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        std::string err;
+        JsonValue baseline = JsonValue::parse(text.str(), &err);
+        if (!err.empty()) {
+            std::cerr << "noreba-verify: bad baseline "
+                      << baselinePath << ": " << err << '\n';
+            return 2;
+        }
+        regressions = diffBaseline(runs, baseline);
+        if (!tool.quiet)
+            std::cout << "baseline: "
+                      << (regressions
+                              ? std::to_string(regressions) +
+                                    " regression(s)"
+                              : std::string("no regressions"))
+                      << '\n';
+    }
+
+    if (!tool.quiet)
         std::cout << runs.size() << " run(s): " << errors
                   << " error(s), " << warnings << " warning(s)\n";
-    return errors > 0 ? 1 : 0;
+    if (errors > 0 || regressions > 0)
+        return 1;
+    if (werror && warnings > 0)
+        return 1;
+    return 0;
 }
