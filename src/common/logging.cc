@@ -1,6 +1,9 @@
 #include "common/logging.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdarg>
+#include <thread>
 #include <vector>
 
 namespace noreba {
@@ -41,13 +44,28 @@ void
 panicImpl(const char *where, const std::string &msg)
 {
     logMessage(LogLevel::Panic, where, msg);
+    // abort() does not flush stdio; a panic right after a table print
+    // must not eat the table.
+    std::fflush(stdout);
+    std::fflush(stderr);
     std::abort();
 }
 
 void
 fatalImpl(const char *where, const std::string &msg)
 {
+    // Serialize concurrent fatal()s: pool workers that fail together
+    // used to race on exit(1), interleaving messages and re-entering
+    // static teardown. The first caller wins, flushes, and exits;
+    // every later caller parks until the process dies.
+    static std::atomic<bool> exiting{false};
+    if (exiting.exchange(true, std::memory_order_acq_rel)) {
+        for (;;)
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
     logMessage(LogLevel::Fatal, where, msg);
+    std::fflush(stdout);
+    std::fflush(stderr);
     std::exit(1);
 }
 

@@ -38,6 +38,12 @@ std::string strfmt(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 #define NOREBA_WHERE_STR(x) NOREBA_WHERE_STR2(x)
 #define NOREBA_WHERE __FILE__ ":" NOREBA_WHERE_STR(__LINE__)
 
+/* Concurrent fatal() calls (e.g. from pool workers) are serialized:
+ * the first caller logs, flushes stdio, and exits; later callers park
+ * until the process dies. For per-job failures a batched caller should
+ * survive, library code throws SimError (common/error.h) instead — see
+ * DESIGN.md §14 for the full error-handling contract. */
+
 /** Abort: an internal invariant was violated (a simulator bug). */
 #define panic(...) \
     ::noreba::panicImpl(NOREBA_WHERE, ::noreba::strfmt(__VA_ARGS__))

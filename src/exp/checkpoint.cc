@@ -1,0 +1,172 @@
+#include "exp/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/json.h"
+#include "common/logging.h"
+#include "sim/result_store.h"
+#include "sim/trace_store.h"
+#include "uarch/config.h"
+#include "uarch/stats.h"
+
+namespace noreba::bench {
+
+namespace {
+
+/** Slurp a whole file; false when it cannot be read. */
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    out.clear();
+    char buf[65536];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    const bool ok = !std::ferror(f);
+    std::fclose(f);
+    return ok;
+}
+
+/** Counters only: derived ratios are recomputed from them on load. */
+JsonValue
+countersToJson(const CoreStats &stats)
+{
+    JsonValue out = JsonValue::object();
+    for (const CoreStatsField &f : CORE_STATS_FIELDS)
+        if (f.counter)
+            out.set(f.name, stats.*f.counter);
+    // Sorted by pc so equal stats always journal to equal bytes.
+    std::vector<std::pair<uint64_t, BranchStall>> stalls(
+        stats.branchStalls.begin(), stats.branchStalls.end());
+    std::sort(stalls.begin(), stalls.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    JsonValue stallArr = JsonValue::array();
+    for (const auto &[pc, s] : stalls) {
+        JsonValue rec = JsonValue::array();
+        rec.push(pc).push(s.stallCycles).push(s.instances)
+            .push(s.dependents);
+        stallArr.push(std::move(rec));
+    }
+    out.set("branchStalls", std::move(stallArr));
+    return out;
+}
+
+bool
+countersFromJson(const JsonValue &obj, CoreStats &out)
+{
+    if (!obj.isObject())
+        return false;
+    out = CoreStats{};
+    for (const CoreStatsField &f : CORE_STATS_FIELDS) {
+        if (!f.counter)
+            continue;
+        const JsonValue *v = obj.find(f.name);
+        if (!v || !v->isNumber())
+            return false;
+        out.*f.counter = v->asUint();
+    }
+    const JsonValue *stalls = obj.find("branchStalls");
+    if (!stalls || !stalls->isArray())
+        return false;
+    for (size_t i = 0; i < stalls->size(); ++i) {
+        const JsonValue &rec = stalls->at(i);
+        if (!rec.isArray() || rec.size() != 4)
+            return false;
+        out.branchStalls[rec.at(0).asUint()] =
+            BranchStall{rec.at(1).asUint(), rec.at(2).asUint(),
+                        rec.at(3).asUint()};
+    }
+    return true;
+}
+
+} // namespace
+
+uint64_t
+planFingerprint(const std::vector<PlannedJob> &plan)
+{
+    const uint64_t versions[] = {
+        CHECKPOINT_FORMAT_VERSION,
+        coreStatsLayoutFingerprint(),
+        RESULT_STORE_MODEL_VERSION,
+        TRACE_STORE_PASS_FINGERPRINT,
+    };
+    uint64_t h = fnv1a(versions, sizeof(versions));
+    for (const PlannedJob &p : plan) {
+        h = fnv1a(p.row, h);
+        h = fnv1a("\0", 1, h);
+        h = fnv1a(p.series, h);
+        h = fnv1a("\0", 1, h);
+        h = fnv1a(resultKey(p.job.workload, p.job.cfg, p.job.trace), h);
+        h = fnv1a("\0", 1, h);
+    }
+    return h;
+}
+
+std::string
+checkpointPath(const std::string &dir, const std::string &name)
+{
+    return dir + "/CKPT_" + name + ".json";
+}
+
+bool
+loadCheckpoint(const std::string &dir, const ExperimentSpec &spec,
+               const std::vector<PlannedJob> &plan,
+               std::vector<SweepResult> &out)
+{
+    if (plan.empty())
+        return false;
+    std::string text;
+    if (!readFile(checkpointPath(dir, spec.name), text))
+        return false;
+    const JsonValue doc = JsonValue::parse(text);
+    if (!doc.isObject())
+        return false;
+    const JsonValue *version = doc.find("checkpointVersion");
+    const JsonValue *fingerprint = doc.find("planFingerprint");
+    const JsonValue *results = doc.find("results");
+    if (!version || !version->isNumber() ||
+        version->asUint() != CHECKPOINT_FORMAT_VERSION ||
+        !fingerprint || !fingerprint->isNumber() ||
+        fingerprint->asUint() != planFingerprint(plan) ||
+        !results || !results->isArray() || results->size() != plan.size())
+        return false;
+
+    std::vector<SweepResult> loaded(plan.size());
+    for (size_t i = 0; i < plan.size(); ++i) {
+        loaded[i].job = plan[i].job;
+        if (!countersFromJson(results->at(i), loaded[i].stats))
+            return false;
+    }
+    out = std::move(loaded);
+    return true;
+}
+
+void
+saveCheckpoint(const std::string &dir, const ExperimentSpec &spec,
+               const std::vector<PlannedJob> &plan,
+               const std::vector<SweepResult> &results)
+{
+    if (plan.empty() || results.size() != plan.size())
+        return;
+    for (const SweepResult &r : results)
+        if (!r.ok)
+            return;
+    JsonValue arr = JsonValue::array();
+    for (const SweepResult &r : results)
+        arr.push(countersToJson(r.stats));
+    JsonValue doc = JsonValue::object();
+    doc.set("checkpointVersion",
+            static_cast<uint64_t>(CHECKPOINT_FORMAT_VERSION))
+        .set("bench", spec.name)
+        .set("planFingerprint", planFingerprint(plan))
+        .set("results", std::move(arr));
+    writeJsonFile(checkpointPath(dir, spec.name), doc);
+}
+
+} // namespace noreba::bench

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Per-experiment checkpoint journal for resumable `--run all`. After
+ * an experiment's sweep completes fully (no failed jobs), the driver
+ * writes CKPT_<name>.json under the --checkpoint directory: the plan's
+ * fingerprint plus every job's CoreStats counters. When a later run
+ * finds a journal whose fingerprint matches the freshly re-planned
+ * jobs, it reconstructs the SweepResults from the journal and proceeds
+ * straight to the report and BENCH_<name>.json emission — no cache
+ * lookups, no simulation (simBuilds stays 0 for resumed experiments) —
+ * so a SIGKILLed `--run all` reruns only the unfinished tail.
+ *
+ * Safety comes from the fingerprint: it hashes each planned job's
+ * content-addressed resultKey() (workload, trace options, canonical
+ * config) with its (row, series) handle, the journal format version,
+ * the CoreStats layout fingerprint, and the simulation/trace semantic
+ * versions. Any change to what an experiment would simulate — or to
+ * what the numbers mean — misses and re-runs instead of resuming stale
+ * results. Journals are written atomically (common/json.h
+ * write-then-rename), so a kill mid-write leaves no torn journal.
+ */
+
+#ifndef NOREBA_EXP_CHECKPOINT_H
+#define NOREBA_EXP_CHECKPOINT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.h"
+
+namespace noreba::bench {
+
+/** Bump on any change to the journal layout or stats encoding. */
+constexpr uint32_t CHECKPOINT_FORMAT_VERSION = 1;
+
+/**
+ * Identity of what this plan would simulate: resultKey() and handle of
+ * every planned job in submission order, folded with the journal
+ * format version and the stats/model/trace fingerprints.
+ */
+uint64_t planFingerprint(const std::vector<PlannedJob> &plan);
+
+/** `<dir>/CKPT_<experiment name>.json`. */
+std::string checkpointPath(const std::string &dir, const std::string &name);
+
+/**
+ * Try to reconstruct @p spec's completed results from a journal in
+ * @p dir. Returns true — filling @p out with one ok SweepResult per
+ * planned job, in submission order — only when the journal exists,
+ * parses, and its fingerprint matches @p plan exactly. Any mismatch,
+ * corruption, or an empty plan returns false: the caller runs the
+ * sweep for real.
+ */
+bool loadCheckpoint(const std::string &dir, const ExperimentSpec &spec,
+                    const std::vector<PlannedJob> &plan,
+                    std::vector<SweepResult> &out);
+
+/**
+ * Journal a fully-successful experiment (every result ok). Empty
+ * plans are not journaled (table-only experiments re-run; they
+ * simulate nothing). fatal() on write failure, matching BENCH json
+ * emission — the directory was validated up front by benchMain.
+ */
+void saveCheckpoint(const std::string &dir, const ExperimentSpec &spec,
+                    const std::vector<PlannedJob> &plan,
+                    const std::vector<SweepResult> &results);
+
+} // namespace noreba::bench
+
+#endif // NOREBA_EXP_CHECKPOINT_H

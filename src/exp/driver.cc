@@ -4,11 +4,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <string>
 #include <vector>
 
+#include "common/fs.h"
 #include "common/json.h"
 #include "common/logging.h"
+#include "exp/checkpoint.h"
 #include "exp/env.h"
 #include "trace/chrome_trace.h"
 #include "trace/event_log.h"
@@ -36,7 +39,7 @@ namespace {
 void
 maybeWriteJson(const ExperimentSpec &spec,
                const std::vector<SweepResult> &results,
-               const EventLog *events, double wallSeconds)
+               const EventLog *events, double wallSeconds, bool resumed)
 {
     const char *dir = std::getenv("NOREBA_JSON_DIR");
     if (!dir || !*dir)
@@ -63,6 +66,30 @@ maybeWriteJson(const ExperimentSpec &spec,
         .set("simCache", simCacheStatsToJson(globalResultCache().stats()))
         .set("perf", std::move(perf))
         .set("results", sweepToJson(results));
+    // The extra keys appear only on runs that had failures or resumed
+    // from a journal, so a clean cold run's JSON stays byte-identical
+    // to what it was before this machinery existed.
+    size_t numFailed = 0;
+    for (const SweepResult &r : results)
+        if (!r.ok)
+            ++numFailed;
+    if (numFailed) {
+        JsonValue failures = JsonValue::array();
+        for (const SweepResult &r : results) {
+            if (r.ok)
+                continue;
+            JsonValue f = JsonValue::object();
+            f.set("workload", r.job.workload)
+                .set("config", r.job.cfg.name)
+                .set("site", r.failure.site)
+                .set("what", r.failure.what)
+                .set("attempts", r.failure.attempts);
+            failures.push(std::move(f));
+        }
+        doc.set("failures", std::move(failures));
+    }
+    if (resumed)
+        doc.set("resumedFromCheckpoint", true);
     std::string path = std::string(dir) + "/BENCH_" + spec.name + ".json";
     writeJsonFile(path, doc);
     std::printf("wrote %s (%zu records)\n", path.c_str(), results.size());
@@ -101,7 +128,8 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s --list | --run <name|all>[,<name>...] "
-                 "[--run ...] [--json-dir <dir>] [--jobs <n>]\n",
+                 "[--run ...] [--json-dir <dir>] [--jobs <n>] "
+                 "[--keep-going] [--checkpoint <dir>]\n",
                  argv0);
     return 2;
 }
@@ -135,8 +163,8 @@ splitCommas(const std::string &arg)
 
 } // namespace
 
-void
-runExperiment(const ExperimentSpec &spec)
+size_t
+runExperiment(const ExperimentSpec &spec, const RunOptions &opts)
 {
     const auto start = std::chrono::steady_clock::now();
     printHeader(spec);
@@ -151,25 +179,62 @@ runExperiment(const ExperimentSpec &spec)
 
     EventLog log;
     const bool capture = benchutil::eventTraceEnabled() && !jobs.empty();
-    SweepRunner runner;
-    std::vector<SweepResult> results =
-        runner.run(jobs, capture ? &log : nullptr);
+    const bool checkpointing = !opts.checkpointDir.empty() && !capture;
 
-    ExperimentResults expResults(plan.planned(), results);
-    if (spec.report)
+    std::vector<SweepResult> results;
+    bool resumed = false;
+    if (checkpointing &&
+        loadCheckpoint(opts.checkpointDir, spec, plan.planned(),
+                       results)) {
+        resumed = true;
+        inform("%s: resumed %zu results from checkpoint (no simulation)",
+               spec.name.c_str(), results.size());
+    } else {
+        SweepRunner runner;
+        results = runner.run(jobs, capture ? &log : nullptr,
+                             opts.keepGoing ? FailurePolicy::Isolate
+                                            : FailurePolicy::Propagate);
+    }
+
+    size_t numFailed = 0;
+    for (const SweepResult &r : results)
+        if (!r.ok)
+            ++numFailed;
+
+    if (numFailed) {
+        // A failed job's stats are zeroed; reports divide by them
+        // (speedup panics on zero baseline cycles), so the tables are
+        // skipped and the failures land in the JSON record instead.
+        warn("%s: %zu of %zu jobs failed; skipping report tables",
+             spec.name.c_str(), numFailed, results.size());
+    } else if (spec.report) {
+        ExperimentResults expResults(plan.planned(), results);
         spec.report(expResults);
+    }
 
     const double wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
-    maybeWriteJson(spec, results, capture ? &log : nullptr, wallSeconds);
+    maybeWriteJson(spec, results, capture ? &log : nullptr, wallSeconds,
+                   resumed);
+
+    if (checkpointing && !resumed && numFailed == 0)
+        saveCheckpoint(opts.checkpointDir, spec, plan.planned(), results);
+    return numFailed;
+}
+
+void
+runExperiment(const ExperimentSpec &spec)
+{
+    runExperiment(spec, RunOptions{});
 }
 
 int
 benchMain(int argc, char **argv)
 {
     bool list = false;
+    RunOptions opts;
     std::vector<std::string> names;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -188,6 +253,12 @@ benchMain(int argc, char **argv)
             if (++i >= argc)
                 return usage(argv[0]);
             ::setenv("NOREBA_JOBS", argv[i], 1);
+        } else if (arg == "--keep-going") {
+            opts.keepGoing = true;
+        } else if (arg == "--checkpoint") {
+            if (++i >= argc)
+                return usage(argv[0]);
+            opts.checkpointDir = argv[i];
         } else {
             std::fprintf(stderr, "unknown option \"%s\"\n", arg.c_str());
             return usage(argv[0]);
@@ -202,6 +273,19 @@ benchMain(int argc, char **argv)
     }
     if (names.empty())
         return usage(argv[0]);
+
+    // Create the output directories before any simulation: a
+    // mistyped path must fail in milliseconds, not after the sweep.
+    const char *jsonDir = std::getenv("NOREBA_JSON_DIR");
+    if (jsonDir && *jsonDir && !ensureDir(jsonDir)) {
+        std::fprintf(stderr, "cannot create json dir \"%s\"\n", jsonDir);
+        return 2;
+    }
+    if (!opts.checkpointDir.empty() && !ensureDir(opts.checkpointDir)) {
+        std::fprintf(stderr, "cannot create checkpoint dir \"%s\"\n",
+                     opts.checkpointDir.c_str());
+        return 2;
+    }
 
     // Validate every name before running anything: a typo at position
     // N must not cost N-1 experiments of simulation first.
@@ -218,8 +302,25 @@ benchMain(int argc, char **argv)
         selected.push_back(spec);
     }
 
-    for (const ExperimentSpec *spec : selected)
-        runExperiment(*spec);
+    size_t totalFailed = 0;
+    for (const ExperimentSpec *spec : selected) {
+        try {
+            totalFailed += runExperiment(*spec, opts);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "experiment %s failed: %s\n",
+                         spec->name.c_str(), e.what());
+            if (!opts.keepGoing)
+                return 1;
+            // The whole experiment is one failure; keep running the
+            // rest of the selection.
+            ++totalFailed;
+        }
+    }
+    if (totalFailed) {
+        std::fprintf(stderr, "%zu job(s) failed; see the failures "
+                     "records in the BENCH_*.json output\n", totalFailed);
+        return 3;
+    }
     return 0;
 }
 

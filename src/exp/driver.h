@@ -17,25 +17,62 @@
 #ifndef NOREBA_EXP_DRIVER_H
 #define NOREBA_EXP_DRIVER_H
 
+#include <cstddef>
+#include <string>
+
 #include "exp/experiment.h"
 
 namespace noreba::bench {
 
+/** Driver-level resilience knobs (the --keep-going / --checkpoint CLI). */
+struct RunOptions
+{
+    /**
+     * Isolate per-job failures: a failed job becomes a `failures`
+     * record in BENCH_<name>.json instead of aborting the experiment,
+     * the remaining jobs (and experiments) still run, and benchMain
+     * exits 3. Off: the first failure throws out of runExperiment
+     * (exit 1), the historical behaviour.
+     */
+    bool keepGoing = false;
+
+    /**
+     * When non-empty, the checkpoint journal directory: completed
+     * experiments are journaled (exp/checkpoint.h) and a rerun serves
+     * them from the journal without simulating. Empty disables
+     * checkpointing. Event-traced runs bypass resume — a journal
+     * cannot replay a live EventLog.
+     */
+    std::string checkpointDir;
+};
+
 /**
  * Execute one experiment end to end: print its header, run the
  * planned sweep (capturing the first job's EventLog when
- * NOREBA_EVENT_TRACE is on), invoke its report, and — when
- * NOREBA_JSON_DIR is set — write BENCH_<name>.json (and the
- * TRACE_<name>.json Chrome trace, exported from the captured log
- * without re-simulating).
+ * NOREBA_EVENT_TRACE is on) — or reconstruct it from a matching
+ * checkpoint journal — invoke its report, and, when NOREBA_JSON_DIR
+ * is set, write BENCH_<name>.json (and the TRACE_<name>.json Chrome
+ * trace, exported from the captured log without re-simulating).
+ *
+ * Returns the number of failed jobs (always 0 unless
+ * opts.keepGoing: without it the first failure propagates as an
+ * exception). When any job failed, the report callback is skipped —
+ * its tables would divide by a failed job's zeroed stats — and the
+ * failures are recorded in the JSON instead.
  */
+size_t runExperiment(const ExperimentSpec &spec, const RunOptions &opts);
+
+/** runExperiment with default options (tests, embedding callers). */
 void runExperiment(const ExperimentSpec &spec);
 
 /**
  * The noreba-bench CLI: --list, --run <name|all|comma-list>
  * (repeatable), --json-dir <dir> (sets NOREBA_JSON_DIR), --jobs <n>
- * (sets NOREBA_JOBS). Returns the process exit code; unknown flags or
- * experiment names exit 2 after listing what is known.
+ * (sets NOREBA_JOBS), --keep-going, --checkpoint <dir>. The json and
+ * checkpoint directories are created up front; failure to create
+ * either is a fast exit 2 before any simulation. Exit codes: 0 all
+ * experiments clean, 1 an experiment failed (no --keep-going), 2
+ * usage/setup error, 3 partial failure under --keep-going.
  */
 int benchMain(int argc, char **argv);
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/error.h"
 #include "common/logging.h"
 #include "isa/setup_encoding.h"
 
@@ -82,10 +83,16 @@ Interpreter::run(const InterpOptions &opts)
     // guardIdx/cursor arithmetic on very long traces. The budget check
     // is conservative: setup instructions inflate the record count past
     // maxDynInsts, so the per-record check below still stands guard.
-    fatal_if(opts.maxDynInsts > MAX_TRACE_RECORDS,
-             "maxDynInsts %llu exceeds the TraceIdx limit of %llu records",
-             static_cast<unsigned long long>(opts.maxDynInsts),
-             static_cast<unsigned long long>(MAX_TRACE_RECORDS));
+    // Thrown (not fatal()): the interpreter runs inside sweep worker
+    // threads, and a per-workload failure must be isolatable by the
+    // batched caller instead of killing the whole sweep (DESIGN.md §14).
+    if (opts.maxDynInsts > MAX_TRACE_RECORDS)
+        throw SimError(
+            "interp.trace_limit",
+            strfmt("maxDynInsts %llu exceeds the TraceIdx limit of %llu "
+                   "records",
+                   static_cast<unsigned long long>(opts.maxDynInsts),
+                   static_cast<unsigned long long>(MAX_TRACE_RECORDS)));
 
     DynamicTrace trace;
     trace.name = prog_.name();
@@ -418,10 +425,13 @@ Interpreter::run(const InterpOptions &opts)
         }
 
         if (opts.emitTrace) {
-            fatal_if(trace.records.size() >= MAX_TRACE_RECORDS,
-                     "trace for %s exceeds the TraceIdx limit of %llu "
-                     "records", trace.name.c_str(),
-                     static_cast<unsigned long long>(MAX_TRACE_RECORDS));
+            if (trace.records.size() >= MAX_TRACE_RECORDS)
+                throw SimError(
+                    "interp.trace_limit",
+                    strfmt("trace for %s exceeds the TraceIdx limit of "
+                           "%llu records", trace.name.c_str(),
+                           static_cast<unsigned long long>(
+                               MAX_TRACE_RECORDS)));
             trace.records.push_back(rec);
         }
         if (isSetup(inst.op)) {

@@ -14,13 +14,24 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "common/fault.h"
+#include "common/fs.h"
 #include "common/hash.h"
 #include "common/logging.h"
+#include "sim/store_health.h"
 #include "sim/trace_store.h"
 
 namespace noreba {
 
 namespace {
+
+/** Publish-failure streak / degradation state for this store. */
+StoreHealth &
+resultHealth()
+{
+    static StoreHealth health("result store");
+    return health;
+}
 
 constexpr char MAGIC[8] = {'N', 'O', 'R', 'B', 'R', 'E', 'S', '\0'};
 
@@ -70,28 +81,19 @@ numCounters()
     return n;
 }
 
-/** mkdir -p: every component of `dir`, ignoring what already exists. */
+} // namespace
+
 bool
-ensureDir(const std::string &dir)
+resultStoreBypassed()
 {
-    std::string partial;
-    for (size_t i = 0; i <= dir.size(); ++i) {
-        if (i < dir.size() && dir[i] != '/') {
-            partial.push_back(dir[i]);
-            continue;
-        }
-        if (i < dir.size())
-            partial.push_back('/');
-        if (partial.empty() || partial == "/")
-            continue;
-        if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST)
-            return false;
-    }
-    struct stat st;
-    return ::stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+    return resultHealth().bypassed();
 }
 
-} // namespace
+void
+resetResultStoreHealth()
+{
+    resultHealth().reset();
+}
 
 uint64_t
 coreStatsLayoutFingerprint()
@@ -170,6 +172,11 @@ resultStoreEligible(const CoreConfig &cfg)
 bool
 loadResult(const std::string &path, const std::string &key, CoreStats &out)
 {
+    int faultErrno = 0;
+    if (ioFaultAt("result_store.read", &faultErrno)) {
+        errno = faultErrno;
+        return false; // read-back failure == cache miss: re-simulate
+    }
     int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0)
         return false;
@@ -254,6 +261,9 @@ size_t
 saveResult(const std::string &path, const std::string &key,
            const CoreStats &stats)
 {
+    if (resultHealth().bypassed())
+        return 0;
+
     const size_t countersOff = pad8(sizeof(ResultHeader) + key.size());
     const size_t counterBytes = numCounters() * sizeof(uint64_t);
     // Sorted by pc so equal stats always serialize to equal bytes.
@@ -300,37 +310,100 @@ saveResult(const std::string &path, const std::string &key,
     const size_t slash = path.rfind('/');
     if (slash != std::string::npos && !ensureDir(path.substr(0, slash))) {
         warn("result store: cannot create directory for %s", path.c_str());
+        resultHealth().recordFailure();
         return 0;
     }
 
     // Unique temp name per writer: concurrent same-key writers each
-    // publish a complete file; rename() makes the last one win.
+    // publish a complete file; rename() makes the last one win. Same
+    // retry/cleanup discipline as saveTraceBundle: a failed attempt
+    // unlinks its temp file, retries with backoff, then gives up as a
+    // cache miss feeding the degradation streak.
     static std::atomic<uint64_t> seq{0};
-    const std::string tmp = path + ".tmp." + std::to_string(::getpid()) +
-                            "." + std::to_string(seq++);
-    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
-    if (fd < 0) {
-        warn("result store: cannot create %s", tmp.c_str());
-        return 0;
-    }
-    size_t written = 0;
-    while (written < fileBytes) {
-        ssize_t n = ::write(fd, buf.data() + written, fileBytes - written);
-        if (n <= 0) {
-            ::close(fd);
-            ::unlink(tmp.c_str());
-            warn("result store: short write to %s", tmp.c_str());
+    for (int attempt = 1;; ++attempt) {
+        const std::string tmp = path + ".tmp." +
+                                std::to_string(::getpid()) + "." +
+                                std::to_string(seq++);
+        int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+        if (fd < 0) {
+            warn("result store: cannot create %s", tmp.c_str());
+            resultHealth().recordFailure();
             return 0;
         }
-        written += static_cast<size_t>(n);
-    }
-    if (::fsync(fd) != 0 || ::close(fd) != 0 ||
-        ::rename(tmp.c_str(), path.c_str()) != 0) {
+
+        const char *failedStep = nullptr;
+        int failedErrno = 0;
+        try {
+            size_t written = 0;
+            while (written < fileBytes) {
+                ssize_t n;
+                int ferr = 0;
+                if (ioFaultAt("result_store.write", &ferr)) {
+                    if (ferr == ENOSPC) {
+                        const size_t half = (fileBytes - written) / 2;
+                        if (half > 0 &&
+                            ::write(fd, buf.data() + written, half) < 0) {
+                            // already failing; keep the injected errno
+                        }
+                    }
+                    errno = ferr;
+                    n = -1;
+                } else {
+                    n = ::write(fd, buf.data() + written,
+                                fileBytes - written);
+                }
+                if (n <= 0) {
+                    failedStep = "write";
+                    failedErrno = errno;
+                    break;
+                }
+                written += static_cast<size_t>(n);
+            }
+            if (!failedStep) {
+                int ferr = 0;
+                const int rc = ioFaultAt("result_store.fsync", &ferr)
+                                   ? (errno = ferr, -1)
+                                   : ::fsync(fd);
+                if (rc != 0 || ::close(fd) != 0) {
+                    failedStep = "fsync";
+                    failedErrno = errno;
+                } else {
+                    fd = -1;
+                }
+            }
+            if (!failedStep) {
+                int ferr = 0;
+                const int rc = ioFaultAt("result_store.rename", &ferr)
+                                   ? (errno = ferr, -1)
+                                   : ::rename(tmp.c_str(), path.c_str());
+                if (rc != 0) {
+                    failedStep = "rename";
+                    failedErrno = errno;
+                }
+            }
+        } catch (...) {
+            if (fd >= 0)
+                ::close(fd);
+            ::unlink(tmp.c_str());
+            throw;
+        }
+
+        if (!failedStep) {
+            resultHealth().recordSuccess();
+            return fileBytes;
+        }
+        if (fd >= 0)
+            ::close(fd);
         ::unlink(tmp.c_str());
-        warn("result store: cannot publish %s", path.c_str());
-        return 0;
+        if (attempt >= STORE_PUBLISH_ATTEMPTS) {
+            warn("result store: %s failed for %s after %d attempts: %s",
+                 failedStep, path.c_str(), attempt,
+                 std::strerror(failedErrno));
+            resultHealth().recordFailure();
+            return 0;
+        }
+        storeBackoff(attempt, path);
     }
-    return fileBytes;
 }
 
 } // namespace noreba

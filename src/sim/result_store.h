@@ -94,12 +94,25 @@ bool loadResult(const std::string &path, const std::string &key,
 
 /**
  * Serialize @p stats to @p path with atomic write-then-rename
- * publishing. Creates the store directory if needed. Returns the bytes
- * written, or 0 on failure (warns, never aborts — the store is a
- * cache, losing it costs a re-simulation).
+ * publishing. Creates the store directory if needed. Transient I/O
+ * failures are retried up to STORE_PUBLISH_ATTEMPTS times with
+ * deterministic jittered backoff. Returns the bytes written, or 0 on
+ * failure (warns, never aborts — the store is a cache, losing it costs
+ * a re-simulation). Fault sites: result_store.{write,fsync,rename};
+ * reads go through result_store.read in loadResult().
  */
 size_t saveResult(const std::string &path, const std::string &key,
                   const CoreStats &stats);
+
+/**
+ * True once repeated publish failures degraded the store to
+ * cache-bypass mode: loads still serve, saveResult() returns 0 without
+ * touching the disk, and the run warned exactly once.
+ */
+bool resultStoreBypassed();
+
+/** Clear the failure streak and bypass latch (tests). */
+void resetResultStoreHealth();
 
 } // namespace noreba
 

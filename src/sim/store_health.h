@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Shared recovery policy for the on-disk stores (trace_store.h,
+ * result_store.h): bounded publish retries with deterministic jittered
+ * backoff for transient I/O failures, and graceful degradation to
+ * cache-bypass mode when a store directory becomes unwritable mid-run
+ * — the run warns once and keeps simulating instead of warning on
+ * every one of hundreds of doomed publishes (the stores are caches;
+ * losing one costs rebuilds, never results).
+ */
+
+#ifndef NOREBA_SIM_STORE_HEALTH_H
+#define NOREBA_SIM_STORE_HEALTH_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace noreba {
+
+/** Publish attempts per file (1 initial + bounded retries). */
+constexpr int STORE_PUBLISH_ATTEMPTS = 3;
+
+/** Consecutive failed publishes before a store degrades to bypass. */
+constexpr int STORE_DEGRADE_STREAK = 3;
+
+/**
+ * Per-store failure tracking. All methods are thread-safe; the streak
+ * is consecutive *publishes* (each already past its own retries), so
+ * one transient blip never degrades the store.
+ */
+class StoreHealth
+{
+  public:
+    explicit StoreHealth(const char *name) : name_(name) {}
+
+    /** Writes should be skipped entirely (degraded store). */
+    bool
+    bypassed() const
+    {
+        return bypassed_.load(std::memory_order_relaxed);
+    }
+
+    void
+    recordSuccess()
+    {
+        streak_.store(0, std::memory_order_relaxed);
+    }
+
+    void
+    recordFailure()
+    {
+        const int streak =
+            streak_.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (streak >= STORE_DEGRADE_STREAK &&
+            !bypassed_.exchange(true, std::memory_order_relaxed)) {
+            warn("%s: %d consecutive publish failures; degrading to "
+                 "cache-bypass mode (simulation continues, nothing more "
+                 "is written this run)",
+                 name_, streak);
+        }
+    }
+
+    /** Re-arm a degraded store (tests; a fixed disk needs a rerun). */
+    void
+    reset()
+    {
+        streak_.store(0, std::memory_order_relaxed);
+        bypassed_.store(false, std::memory_order_relaxed);
+    }
+
+  private:
+    const char *name_;
+    std::atomic<int> streak_{0};
+    std::atomic<bool> bypassed_{false};
+};
+
+/**
+ * Sleep before retry @p attempt of publishing @p path: linear backoff
+ * plus a deterministic jitter derived from the path and attempt, so
+ * concurrent writers to a struggling disk de-synchronize without
+ * introducing nondeterminism into any simulated result.
+ */
+inline void
+storeBackoff(int attempt, const std::string &path)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (char c : path) {
+        h ^= static_cast<uint8_t>(c);
+        h *= 1099511628211ull;
+    }
+    h ^= static_cast<uint64_t>(attempt);
+    h *= 1099511628211ull;
+    const auto jitterUs = std::chrono::microseconds(h % 1000);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(attempt) + jitterUs);
+}
+
+} // namespace noreba
+
+#endif // NOREBA_SIM_STORE_HEALTH_H

@@ -3,17 +3,23 @@
 #include <atomic>
 #include <cerrno>
 #include <cstdlib>
+#include <exception>
 #include <thread>
 
+#include "common/error.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "sim/result_store.h"
+#include "sim/store_health.h"
 #include "sim/trace_store.h"
 
 namespace noreba {
 
-BundleCache::BundleCache(size_t capacity, Builder builder)
-    : capacity_(capacity), builder_(std::move(builder))
+BundleCache::BundleCache(size_t capacity, Builder builder,
+                         int quarantineAfter)
+    : capacity_(capacity), builder_(std::move(builder)),
+      quarantineAfter_(quarantineAfter)
 {
 }
 
@@ -32,6 +38,21 @@ BundleCache::capacityFromEnv()
     return static_cast<size_t>(parsed);
 }
 
+int
+BundleCache::quarantineAfterFromEnv()
+{
+    const char *env = std::getenv("NOREBA_QUARANTINE_AFTER");
+    if (!env || !*env)
+        return 2;
+    errno = 0;
+    char *end = nullptr;
+    long parsed = std::strtol(env, &end, 10);
+    fatal_if(errno != 0 || end == env || *end != '\0' || parsed < 0,
+             "NOREBA_QUARANTINE_AFTER=\"%s\" is not a non-negative "
+             "integer", env);
+    return static_cast<int>(parsed);
+}
+
 std::shared_ptr<const TraceBundle>
 BundleCache::get(const std::string &workload, const TraceOptions &opts)
 {
@@ -40,6 +61,16 @@ BundleCache::get(const std::string &workload, const TraceOptions &opts)
     std::shared_ptr<Entry> entry;
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        if (quarantineAfter_) {
+            auto streak = failStreak_.find(key);
+            if (streak != failStreak_.end() &&
+                streak->second >= quarantineAfter_)
+                throw QuarantineError(
+                    "bundle_cache.quarantine",
+                    strfmt("workload %s quarantined after %d consecutive "
+                           "trace build failures",
+                           workload.c_str(), streak->second));
+        }
         auto it = entries_.find(key);
         if (it != entries_.end()) {
             entry = it->second;
@@ -81,9 +112,11 @@ BundleCache::get(const std::string &workload, const TraceOptions &opts)
                     entry->bundle = std::move(bundle);
                     stats_.bytesMapped +=
                         entry->bundle->mapped->fileBytes();
+                    failStreak_.erase(key);
                     return;
                 }
             }
+            NOREBA_FAULT_SITE("bundle_cache.build");
             auto bundle = std::make_shared<TraceBundle>(
                 builder_ ? builder_(workload, opts)
                          : prepareTrace(workload, opts));
@@ -93,9 +126,15 @@ BundleCache::get(const std::string &workload, const TraceOptions &opts)
             ++stats_.builds;
             stats_.bytesWritten += published;
             entry->bundle = std::move(bundle);
+            failStreak_.erase(key);
         });
     } catch (...) {
         std::lock_guard<std::mutex> lock(mutex_);
+        // Each increment is one real failed build attempt: only the
+        // thread that ran the throwing callable lands here; blocked
+        // joiners re-run the build and count their own failure.
+        if (quarantineAfter_)
+            ++failStreak_[key];
         removeFailedLocked(entry);
         throw;
     }
@@ -221,6 +260,7 @@ ResultCache::get(const SweepJob &job, const Simulate &sim)
                 entry->done = true;
                 return;
             }
+            NOREBA_FAULT_SITE("result_cache.sim");
             stats = sim();
             const size_t published =
                 path.empty() ? 0 : saveResult(path, key, stats);
@@ -307,20 +347,40 @@ SweepRunner::jobsFromEnv()
     return static_cast<unsigned>(parsed);
 }
 
-std::vector<SweepResult>
-SweepRunner::run(const std::vector<SweepJob> &jobs)
+int
+SweepRunner::retriesFromEnv()
 {
-    return run(jobs, nullptr);
+    const char *env = std::getenv("NOREBA_SWEEP_RETRIES");
+    if (!env || !*env)
+        return 1;
+    errno = 0;
+    char *end = nullptr;
+    long parsed = std::strtol(env, &end, 10);
+    fatal_if(errno != 0 || end == env || *end != '\0' || parsed < 0,
+             "NOREBA_SWEEP_RETRIES=\"%s\" is not a non-negative integer",
+             env);
+    return static_cast<int>(parsed);
+}
+
+std::vector<SweepResult>
+SweepRunner::run(const std::vector<SweepJob> &jobs, FailurePolicy policy)
+{
+    return run(jobs, nullptr, policy);
 }
 
 std::vector<SweepResult>
 SweepRunner::run(const std::vector<SweepJob> &jobs,
-                 EventLog *firstJobEvents)
+                 EventLog *firstJobEvents, FailurePolicy policy)
 {
     std::vector<SweepResult> results(jobs.size());
-    auto runJob = [&](size_t i) {
+    // Saved per job for FailurePolicy::Propagate: rethrowing the
+    // original exception (not a copy reconstructed from what()) in
+    // submission order keeps the propagated failure deterministic no
+    // matter which worker thread lost the race.
+    std::vector<std::exception_ptr> errors(jobs.size());
+
+    auto attemptJob = [&](size_t i) {
         const SweepJob &job = jobs[i];
-        results[i].job = job;
         if (i == 0 && firstJobEvents) {
             // Event capture needs a live log, so this simulation runs
             // for real regardless of what the result cache holds.
@@ -349,16 +409,50 @@ SweepRunner::run(const std::vector<SweepJob> &jobs,
         results[i].stats = simulate(job.cfg, *bundle);
     };
 
+    const int attempts = 1 + retriesFromEnv();
+    auto runJob = [&](size_t i) {
+        results[i].job = jobs[i];
+        for (int attempt = 1;; ++attempt) {
+            try {
+                NOREBA_FAULT_SITE("sweep.job");
+                attemptJob(i);
+                return;
+            } catch (const QuarantineError &e) {
+                // Retrying a quarantined key just throws again;
+                // fail the job immediately.
+                results[i].ok = false;
+                results[i].failure = {e.site(), e.what(), attempt};
+                errors[i] = std::current_exception();
+                return;
+            } catch (const std::exception &e) {
+                if (attempt >= attempts) {
+                    results[i].ok = false;
+                    results[i].failure = {errorSite(e, "sweep.job"),
+                                          e.what(), attempt};
+                    errors[i] = std::current_exception();
+                    return;
+                }
+                storeBackoff(attempt, jobs[i].workload + "#" +
+                                          std::to_string(i));
+            }
+        }
+    };
+
     if (numThreads_ <= 1 || jobs.size() <= 1) {
         for (size_t i = 0; i < jobs.size(); ++i)
             runJob(i);
-        return results;
+    } else {
+        ThreadPool pool(numThreads_);
+        for (size_t i = 0; i < jobs.size(); ++i)
+            pool.submit([&runJob, i] { runJob(i); });
+        pool.wait();
     }
 
-    ThreadPool pool(numThreads_);
-    for (size_t i = 0; i < jobs.size(); ++i)
-        pool.submit([&runJob, i] { runJob(i); });
-    pool.wait();
+    if (policy == FailurePolicy::Propagate) {
+        for (size_t i = 0; i < results.size(); ++i)
+            if (!results[i].ok)
+                std::rethrow_exception(errors[i]);
+    }
     return results;
 }
 
@@ -443,8 +537,19 @@ sweepResultToJson(const SweepResult &r)
         .set("traceLen", r.job.trace.maxDynInsts)
         .set("annotate", r.job.trace.annotate)
         .set("stripSetups", r.job.trace.stripSetups)
-        .set("config", configToJson(r.job.cfg))
-        .set("stats", statsToJson(r.stats));
+        .set("config", configToJson(r.job.cfg));
+    if (r.ok) {
+        out.set("stats", statsToJson(r.stats));
+    } else {
+        // No "stats" key: the zeroed CoreStats would serialize derived
+        // ratios of 0/0. The extra keys appear only on failed records,
+        // so a clean run's JSON stays byte-identical.
+        JsonValue failure = JsonValue::object();
+        failure.set("site", r.failure.site)
+            .set("what", r.failure.what)
+            .set("attempts", r.failure.attempts);
+        out.set("failed", true).set("failure", std::move(failure));
+    }
     return out;
 }
 

@@ -8,6 +8,12 @@
  * out across a fixed-size thread pool (NOREBA_JOBS threads), and
  * returns the results in deterministic submission order — a parallel
  * sweep is bit-identical to the serial one, just faster.
+ *
+ * Failure handling (DESIGN.md §14): a job that throws SimError is
+ * retried with backoff, then either fails the sweep (Propagate, the
+ * historical behaviour, made deterministic by rethrowing in submission
+ * order) or is recorded on its own SweepResult while the rest of the
+ * sweep completes (Isolate, the `noreba-bench --keep-going` path).
  */
 
 #ifndef NOREBA_SIM_SWEEP_H
@@ -34,11 +40,38 @@ struct SweepJob
     TraceOptions trace;
 };
 
+/** How one job failed (meaningful only when SweepResult::ok is false). */
+struct SweepFailure
+{
+    std::string site; //!< error site, e.g. "result_cache.sim"
+    std::string what; //!< exception message of the last attempt
+    int attempts = 0; //!< attempts consumed (1 = failed without retry)
+};
+
 /** The job echoed back with its simulation outcome. */
 struct SweepResult
 {
     SweepJob job;
     CoreStats stats;
+    bool ok = true;       //!< stats are valid; failure is empty
+    SweepFailure failure; //!< set when !ok (FailurePolicy::Isolate)
+};
+
+/** What SweepRunner::run does with a job that fails all its attempts. */
+enum class FailurePolicy
+{
+    /**
+     * Rethrow the first failed job's exception, in submission order
+     * (deterministic regardless of which thread hit it first). The
+     * historical behaviour: one bad job fails the sweep.
+     */
+    Propagate,
+    /**
+     * Record the failure on the job's SweepResult (ok = false) and
+     * keep running every other job. Callers inspect `ok` per result;
+     * noreba-bench --keep-going reports these as `failures` records.
+     */
+    Isolate,
 };
 
 /** Counters for the two-tier (memory over disk) bundle cache. */
@@ -80,13 +113,21 @@ class BundleCache
         std::function<TraceBundle(const std::string &, const TraceOptions &)>;
 
     explicit BundleCache(size_t capacity = capacityFromEnv(),
-                         Builder builder = {});
+                         Builder builder = {},
+                         int quarantineAfter = quarantineAfterFromEnv());
 
     /**
      * Fetch (building at most once per key, even across threads). A
      * build that throws evicts the never-materialized entry — later
      * calls retry instead of hitting a poisoned pin — and the
      * exception propagates to the caller(s) of the failed attempt.
+     *
+     * Keys whose builds failed `quarantineAfter` consecutive times are
+     * quarantined: get() throws QuarantineError immediately without
+     * consuming another build, so a workload that can never prepare
+     * (bad generator, corrupt input) fails each remaining job fast
+     * instead of re-running the whole pipeline per job. A successful
+     * build clears the key's streak.
      */
     std::shared_ptr<const TraceBundle> get(const std::string &workload,
                                            const TraceOptions &opts = {});
@@ -103,6 +144,13 @@ class BundleCache
      * integer is fatal().
      */
     static size_t capacityFromEnv();
+
+    /**
+     * Quarantine threshold from NOREBA_QUARANTINE_AFTER: consecutive
+     * build failures per key before get() stops retrying (default 2);
+     * 0 disables quarantine. Anything else non-numeric is fatal().
+     */
+    static int quarantineAfterFromEnv();
 
   private:
     struct Key
@@ -146,9 +194,12 @@ class BundleCache
     /** Recency index: lastUse -> entry; stamps are unique, so eviction
      *  pops from begin() in O(log n) instead of scanning entries_. */
     std::map<uint64_t, std::shared_ptr<Entry>> lru_;
+    /** Consecutive build failures per key (cleared on success). */
+    std::map<Key, int> failStreak_;
     uint64_t useClock_ = 0;
     size_t capacity_;
     Builder builder_;
+    int quarantineAfter_;
     BundleCacheStats stats_;
 };
 
@@ -254,8 +305,18 @@ class SweepRunner
      * Run every job and return results in submission order. Job i's
      * result is always at index i regardless of which thread ran it or
      * when it finished.
+     *
+     * Each job gets 1 + NOREBA_SWEEP_RETRIES attempts (default: one
+     * retry), with deterministic jittered backoff between attempts;
+     * QuarantineError is never retried (it would throw again
+     * immediately). A job that exhausts its attempts is handled per
+     * @p policy: Propagate (the default) rethrows the first failed
+     * job's exception in submission order; Isolate records the failure
+     * on that job's SweepResult and finishes the rest of the sweep.
      */
-    std::vector<SweepResult> run(const std::vector<SweepJob> &jobs);
+    std::vector<SweepResult>
+    run(const std::vector<SweepJob> &jobs,
+        FailurePolicy policy = FailurePolicy::Propagate);
 
     /**
      * As run(jobs), additionally recording the first job's pipeline
@@ -265,8 +326,9 @@ class SweepRunner
      * from the same simulation that produced the first result instead
      * of paying for a second one.
      */
-    std::vector<SweepResult> run(const std::vector<SweepJob> &jobs,
-                                 EventLog *firstJobEvents);
+    std::vector<SweepResult>
+    run(const std::vector<SweepJob> &jobs, EventLog *firstJobEvents,
+        FailurePolicy policy = FailurePolicy::Propagate);
 
     unsigned numThreads() const { return numThreads_; }
 
@@ -276,6 +338,13 @@ class SweepRunner
      * fatal().
      */
     static unsigned jobsFromEnv();
+
+    /**
+     * Retry budget from NOREBA_SWEEP_RETRIES: extra attempts per job
+     * after the first (default 1); 0 disables retry. Anything else
+     * non-numeric is fatal().
+     */
+    static int retriesFromEnv();
 
   private:
     unsigned numThreads_;

@@ -14,11 +14,22 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "common/fault.h"
+#include "common/fs.h"
 #include "common/logging.h"
+#include "sim/store_health.h"
 
 namespace noreba {
 
 namespace {
+
+/** Publish-failure streak / degradation state for this store. */
+StoreHealth &
+traceHealth()
+{
+    static StoreHealth health("trace store");
+    return health;
+}
 
 constexpr char MAGIC[8] = {'N', 'O', 'R', 'B', 'T', 'R', 'C', '\0'};
 
@@ -201,28 +212,19 @@ deserializePass(const uint8_t *data, size_t size, PassResult &out)
 
 /** @} */
 
-/** mkdir -p: every component of `dir`, ignoring what already exists. */
+} // namespace
+
 bool
-ensureDir(const std::string &dir)
+traceStoreBypassed()
 {
-    std::string partial;
-    for (size_t i = 0; i <= dir.size(); ++i) {
-        if (i < dir.size() && dir[i] != '/') {
-            partial.push_back(dir[i]);
-            continue;
-        }
-        if (i < dir.size())
-            partial.push_back('/');
-        if (partial.empty() || partial == "/")
-            continue;
-        if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST)
-            return false;
-    }
-    struct stat st;
-    return ::stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+    return traceHealth().bypassed();
 }
 
-} // namespace
+void
+resetTraceStoreHealth()
+{
+    traceHealth().reset();
+}
 
 uint64_t
 traceRecordLayoutFingerprint()
@@ -312,6 +314,11 @@ MappedTraceBundle::view() const
 std::shared_ptr<const MappedTraceBundle>
 MappedTraceBundle::open(const std::string &path)
 {
+    int faultErrno = 0;
+    if (ioFaultAt("trace_store.read", &faultErrno)) {
+        errno = faultErrno;
+        return nullptr; // read-back failure == cache miss: rebuild
+    }
     int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0)
         return nullptr;
@@ -400,6 +407,9 @@ MappedTraceBundle::open(const std::string &path)
 size_t
 saveTraceBundle(const std::string &path, const TraceBundle &bundle)
 {
+    if (traceHealth().bypassed())
+        return 0;
+
     const TraceView view = bundle.view();
     panic_if(bundle.misp.size() != view.size(),
              "bundle misprediction vector does not match its trace");
@@ -459,38 +469,105 @@ saveTraceBundle(const std::string &path, const TraceBundle &bundle)
     if (slash != std::string::npos &&
         !ensureDir(path.substr(0, slash))) {
         warn("trace store: cannot create directory for %s", path.c_str());
+        traceHealth().recordFailure();
         return 0;
     }
 
     // Unique temp name per writer: concurrent same-key writers each
-    // publish a complete file; rename() makes the last one win.
+    // publish a complete file; rename() makes the last one win. A
+    // failed attempt always unlinks its temp file (the rename is the
+    // only publication point), retries with backoff, and after the
+    // attempt budget gives up as a cache miss, feeding the store's
+    // degradation streak.
     static std::atomic<uint64_t> seq{0};
-    const std::string tmp = path + ".tmp." + std::to_string(::getpid()) +
-                            "." + std::to_string(seq++);
-    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
-    if (fd < 0) {
-        warn("trace store: cannot create %s", tmp.c_str());
-        return 0;
-    }
-    size_t written = 0;
-    while (written < fileBytes) {
-        ssize_t n =
-            ::write(fd, buf.data() + written, fileBytes - written);
-        if (n <= 0) {
-            ::close(fd);
-            ::unlink(tmp.c_str());
-            warn("trace store: short write to %s", tmp.c_str());
+    for (int attempt = 1;; ++attempt) {
+        const std::string tmp = path + ".tmp." +
+                                std::to_string(::getpid()) + "." +
+                                std::to_string(seq++);
+        int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+        if (fd < 0) {
+            warn("trace store: cannot create %s", tmp.c_str());
+            traceHealth().recordFailure();
             return 0;
         }
-        written += static_cast<size_t>(n);
-    }
-    if (::fsync(fd) != 0 || ::close(fd) != 0 ||
-        ::rename(tmp.c_str(), path.c_str()) != 0) {
+
+        const char *failedStep = nullptr;
+        int failedErrno = 0;
+        try {
+            size_t written = 0;
+            while (written < fileBytes) {
+                ssize_t n;
+                int ferr = 0;
+                if (ioFaultAt("trace_store.write", &ferr)) {
+                    // short-write (ENOSPC): land part of the payload
+                    // first so the temp file really is truncated.
+                    if (ferr == ENOSPC) {
+                        const size_t half = (fileBytes - written) / 2;
+                        if (half > 0 &&
+                            ::write(fd, buf.data() + written, half) < 0) {
+                            // already failing; keep the injected errno
+                        }
+                    }
+                    errno = ferr;
+                    n = -1;
+                } else {
+                    n = ::write(fd, buf.data() + written,
+                                fileBytes - written);
+                }
+                if (n <= 0) {
+                    failedStep = "write";
+                    failedErrno = errno;
+                    break;
+                }
+                written += static_cast<size_t>(n);
+            }
+            if (!failedStep) {
+                int ferr = 0;
+                const int rc = ioFaultAt("trace_store.fsync", &ferr)
+                                   ? (errno = ferr, -1)
+                                   : ::fsync(fd);
+                if (rc != 0 || ::close(fd) != 0) {
+                    failedStep = "fsync";
+                    failedErrno = errno;
+                } else {
+                    fd = -1;
+                }
+            }
+            if (!failedStep) {
+                int ferr = 0;
+                const int rc = ioFaultAt("trace_store.rename", &ferr)
+                                   ? (errno = ferr, -1)
+                                   : ::rename(tmp.c_str(), path.c_str());
+                if (rc != 0) {
+                    failedStep = "rename";
+                    failedErrno = errno;
+                }
+            }
+        } catch (...) {
+            // Injected `throw` at a store site: clean up the temp file
+            // and let the job-level failure propagate to the sweep.
+            if (fd >= 0)
+                ::close(fd);
+            ::unlink(tmp.c_str());
+            throw;
+        }
+
+        if (!failedStep) {
+            traceHealth().recordSuccess();
+            return fileBytes;
+        }
+        if (fd >= 0)
+            ::close(fd);
         ::unlink(tmp.c_str());
-        warn("trace store: cannot publish %s", path.c_str());
-        return 0;
+        if (attempt >= STORE_PUBLISH_ATTEMPTS) {
+            warn("trace store: %s failed for %s after %d attempts: %s",
+                 failedStep, path.c_str(), attempt,
+                 std::strerror(failedErrno));
+            traceHealth().recordFailure();
+            return 0;
+        }
+        storeBackoff(attempt, path);
     }
-    return fileBytes;
 }
 
 } // namespace noreba

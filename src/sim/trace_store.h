@@ -118,11 +118,25 @@ class MappedTraceBundle
 
 /**
  * Serialize `bundle` to `path` with atomic write-then-rename
- * publishing. Creates the store directory if needed. Returns the bytes
- * written, or 0 on failure (warns, never aborts — the store is a
- * cache, losing it costs a rebuild).
+ * publishing. Creates the store directory if needed. Transient I/O
+ * failures are retried up to STORE_PUBLISH_ATTEMPTS times with
+ * deterministic jittered backoff. Returns the bytes written, or 0 on
+ * failure (warns, never aborts — the store is a cache, losing it costs
+ * a rebuild). Fault sites: trace_store.{write,fsync,rename}; reads go
+ * through trace_store.read in MappedTraceBundle::open.
  */
 size_t saveTraceBundle(const std::string &path, const TraceBundle &bundle);
+
+/**
+ * True once repeated publish failures (STORE_DEGRADE_STREAK
+ * consecutive, each past its own retries) degraded the store to
+ * cache-bypass mode: reads still serve, saveTraceBundle() returns 0
+ * without touching the disk, and the run warned exactly once.
+ */
+bool traceStoreBypassed();
+
+/** Clear the failure streak and bypass latch (tests). */
+void resetTraceStoreHealth();
 
 } // namespace noreba
 

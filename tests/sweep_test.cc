@@ -13,6 +13,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.h"
+#include "common/fault.h"
 #include "common/json.h"
 #include "common/thread_pool.h"
 #include "sim/sweep.h"
@@ -357,6 +359,201 @@ TEST(NorebaCommit, MoreThanSixteenBrCqsSimulate)
 
     EXPECT_EQ(wide.committedInsts, narrow.committedInsts);
     EXPECT_GT(wide.cycles, 0u);
+}
+
+// Failure-isolation layer: in-flight build failures are observed by
+// every joiner, repeated failures quarantine the key, and the runner
+// retries / isolates per the FailurePolicy.
+
+/** Disarm any armed fault plan on scope exit, pass or fail. */
+struct FaultGuard
+{
+    ~FaultGuard() { FaultRegistry::instance().disarm(); }
+};
+
+TEST(BundleCache, EveryJoinerOfAFailingBuildObservesTheFailure)
+{
+    std::atomic<int> entered{0};
+    std::atomic<bool> failing{true};
+    std::atomic<int> builds{0};
+    constexpr int N = 6;
+    // quarantineAfter = 0: this test exercises pure joiner semantics,
+    // not the quarantine threshold.
+    BundleCache cache(
+        0,
+        [&](const std::string &w, const TraceOptions &) {
+            ++builds;
+            // Hold the first build until every thread is in flight, so
+            // all N callers genuinely join one failing entry.
+            while (entered.load() < N)
+                std::this_thread::yield();
+            if (failing.load())
+                throw std::runtime_error("injected build failure");
+            TraceBundle b;
+            b.workload = w;
+            return b;
+        },
+        /*quarantineAfter=*/0);
+
+    std::atomic<int> sawFailure{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < N; ++i) {
+        threads.emplace_back([&] {
+            ++entered;
+            try {
+                cache.get("shared", {});
+            } catch (const std::runtime_error &) {
+                ++sawFailure;
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    // call_once re-runs the callable for each waiter when it throws:
+    // nobody silently gets a null bundle.
+    EXPECT_EQ(sawFailure.load(), N);
+    EXPECT_EQ(cache.size(), 0u);
+
+    // The failure was not sticky: the next get() retries and succeeds.
+    failing = false;
+    auto bundle = cache.get("shared", {});
+    ASSERT_NE(bundle, nullptr);
+    EXPECT_EQ(bundle->workload, "shared");
+    EXPECT_EQ(builds.load(), N + 1);
+}
+
+TEST(BundleCache, RepeatedBuildFailuresQuarantineTheKey)
+{
+    std::atomic<int> calls{0};
+    BundleCache cache(
+        0,
+        [&](const std::string &, const TraceOptions &) -> TraceBundle {
+            ++calls;
+            throw std::runtime_error("injected build failure");
+        },
+        /*quarantineAfter=*/2);
+
+    EXPECT_THROW(cache.get("flaky", {}), std::runtime_error);
+    EXPECT_THROW(cache.get("flaky", {}), std::runtime_error);
+    EXPECT_EQ(calls.load(), 2);
+
+    // The third get is refused without invoking the builder.
+    try {
+        cache.get("flaky", {});
+        FAIL() << "expected QuarantineError";
+    } catch (const QuarantineError &e) {
+        EXPECT_EQ(e.site(), std::string("bundle_cache.quarantine"));
+        EXPECT_NE(std::string(e.what()).find("flaky"), std::string::npos);
+    }
+    EXPECT_EQ(calls.load(), 2);
+
+    // Other keys are unaffected by a quarantined neighbour.
+    EXPECT_THROW(cache.get("other", {}), std::runtime_error);
+    EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(BundleCache, BuildSuccessClearsTheQuarantineStreak)
+{
+    std::atomic<bool> failing{true};
+    // Capacity 1 so fetching another key evicts "flaky", forcing a
+    // real rebuild (and another shot at the streak) later.
+    BundleCache cache(
+        1,
+        [&](const std::string &w, const TraceOptions &) {
+            if (failing.load())
+                throw std::runtime_error("injected build failure");
+            TraceBundle b;
+            b.workload = w;
+            return b;
+        },
+        /*quarantineAfter=*/2);
+
+    EXPECT_THROW(cache.get("flaky", {}), std::runtime_error);
+    failing = false;
+    EXPECT_NE(cache.get("flaky", {}), nullptr);
+
+    cache.get("other", {}); // evicts "flaky"
+    failing = true;
+    EXPECT_THROW(cache.get("flaky", {}), std::runtime_error);
+
+    // Without the reset-on-success this second single failure would
+    // have been streak #2 and the next get() would throw
+    // QuarantineError instead of building.
+    failing = false;
+    EXPECT_NE(cache.get("flaky", {}), nullptr);
+}
+
+TEST(SweepRunner, TransientJobFaultIsRetriedToSuccess)
+{
+    FaultGuard guard;
+    FaultRegistry::instance().arm("sweep.job=throw@1");
+    CoreConfig cfg = skylakeConfig();
+    cfg.commitMode = CommitMode::InOrder;
+    BundleCache cache;
+    auto results = SweepRunner(1, &cache).run(
+        {SweepJob{"CRC32", cfg, shortTrace()}});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].ok);
+    EXPECT_GT(results[0].stats.cycles, 0u);
+    EXPECT_EQ(FaultRegistry::instance().hitCount("sweep.job"), 2u);
+}
+
+TEST(SweepRunner, IsolatePolicyRecordsFailureAndRunsRemainingJobs)
+{
+    FaultGuard guard;
+    // Serial runner, default one retry: hits are j0a1, j1a1, j1a2,
+    // j2a1 — so @2x2 defeats exactly job 1's both attempts.
+    FaultRegistry::instance().arm("sweep.job=throw@2x2");
+    CoreConfig cfg = skylakeConfig();
+    cfg.commitMode = CommitMode::InOrder;
+    std::vector<SweepJob> jobs(3, SweepJob{"CRC32", cfg, shortTrace()});
+    BundleCache cache;
+    auto results =
+        SweepRunner(1, &cache).run(jobs, FailurePolicy::Isolate);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_TRUE(results[0].ok);
+    EXPECT_FALSE(results[1].ok);
+    EXPECT_TRUE(results[2].ok);
+    EXPECT_EQ(results[1].failure.site, "sweep.job");
+    EXPECT_EQ(results[1].failure.attempts, 2);
+    EXPECT_NE(results[1].failure.what.find("injected"),
+              std::string::npos);
+    EXPECT_GT(results[2].stats.cycles, 0u);
+
+    // The failed record serializes without stats but with the failure.
+    std::string text = sweepToJson(results).dump();
+    EXPECT_NE(text.find("\"failed\":true"), std::string::npos);
+    EXPECT_NE(text.find("\"site\":\"sweep.job\""), std::string::npos);
+}
+
+TEST(SweepRunner, PropagatePolicyRethrowsAfterRetriesExhausted)
+{
+    FaultGuard guard;
+    FaultRegistry::instance().arm("sweep.job=throw@1x*");
+    CoreConfig cfg = skylakeConfig();
+    cfg.commitMode = CommitMode::InOrder;
+    BundleCache cache;
+    EXPECT_THROW(SweepRunner(1, &cache)
+                     .run({SweepJob{"CRC32", cfg, shortTrace()}}),
+                 InjectedFault);
+}
+
+TEST(SweepRunner, RetriesFromEnvControlsAttemptBudget)
+{
+    FaultGuard guard;
+    ASSERT_EQ(setenv("NOREBA_SWEEP_RETRIES", "0", 1), 0);
+    FaultRegistry::instance().arm("sweep.job=throw@1");
+    CoreConfig cfg = skylakeConfig();
+    cfg.commitMode = CommitMode::InOrder;
+    BundleCache cache;
+    // With zero retries the one-shot fault is fatal to the job.
+    auto results = SweepRunner(1, &cache).run(
+        {SweepJob{"CRC32", cfg, shortTrace()}}, FailurePolicy::Isolate);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_EQ(results[0].failure.attempts, 1);
+    ASSERT_EQ(unsetenv("NOREBA_SWEEP_RETRIES"), 0);
 }
 
 TEST(StripSetupRecords, RemapsGuardIndices)

@@ -6,7 +6,9 @@
  * under concurrent same-key writers, mmap-vs-in-memory replay
  * bit-identity across every commit mode, LRU bounding of the memory
  * tier, and the fail-fast guards on TraceIdx overflow and zero-cycle
- * speedups.
+ * speedups. The TraceStoreFaults suite drives every publish/read
+ * failure path through NOREBA_FAULTS-style injected faults and checks
+ * that no partially-published file is ever observable.
  */
 
 #include <atomic>
@@ -23,6 +25,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.h"
+#include "common/fault.h"
 #include "common/thread_pool.h"
 #include "sim/sweep.h"
 #include "sim/trace_store.h"
@@ -372,12 +376,20 @@ TEST(BundleCache, CapacityFromEnvRejectsGarbage)
 // Satellite guards: overlong traces and zero-cycle speedups fail fast
 // instead of silently corrupting TraceIdx arithmetic or geomeans.
 
-TEST(TraceLimits, InterpreterFailsFastBeyondTraceIdxRange)
+TEST(TraceLimits, InterpreterThrowsSimErrorBeyondTraceIdxRange)
 {
     TraceOptions opts;
     opts.maxDynInsts = MAX_TRACE_RECORDS + 1;
-    EXPECT_EXIT(prepareTrace("CRC32", opts),
-                ::testing::ExitedWithCode(1), "TraceIdx limit");
+    // Thrown (not fatal()): an overlong workload must fail its own
+    // sweep job, not the whole bench process (DESIGN.md §14).
+    try {
+        prepareTrace("CRC32", opts);
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.site(), "interp.trace_limit");
+        EXPECT_NE(std::string(e.what()).find("TraceIdx limit"),
+                  std::string::npos);
+    }
 }
 
 TEST(TraceLimits, SpeedupPanicsOnZeroCycleRuns)
@@ -387,6 +399,140 @@ TEST(TraceLimits, SpeedupPanicsOnZeroCycleRuns)
     candidate.cycles = 0;
     EXPECT_DEATH(speedup(baseline, candidate), "zero-cycle");
     EXPECT_DEATH(speedup(candidate, baseline), "zero-cycle");
+}
+
+// Fault-injected failure paths: every way a publish or read-back can
+// fail must leave the store with either the old state or the complete
+// new file — never a torn one — and clean up its temp files.
+
+/** Disarm + clear store degradation on scope exit, pass or fail. */
+struct FaultGuard
+{
+    ~FaultGuard()
+    {
+        FaultRegistry::instance().disarm();
+        resetTraceStoreHealth();
+    }
+};
+
+int
+tmpFilesIn(const std::string &dir)
+{
+    int n = 0;
+    if (DIR *d = opendir(dir.c_str())) {
+        while (dirent *e = readdir(d))
+            if (std::strstr(e->d_name, ".tmp."))
+                ++n;
+        closedir(d);
+    }
+    return n;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+class TraceStoreFaults : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        resetTraceStoreHealth();
+        bundle_ = prepareTrace("CRC32", shortTrace());
+        path_ = traceBundlePath("CRC32", shortTrace());
+        ASSERT_FALSE(path_.empty());
+    }
+
+    /** Arm @p plan, expect the publish to fail without leaving any
+     *  file, then confirm a clean retry publishes a valid bundle. */
+    void
+    expectFailedThenCleanPublish(const std::string &plan)
+    {
+        FaultGuard guard;
+        FaultRegistry::instance().arm(plan);
+        EXPECT_EQ(saveTraceBundle(path_, bundle_), 0u);
+        EXPECT_FALSE(fileExists(path_)) << "partial file published";
+        EXPECT_EQ(tmpFilesIn(dir_.path), 0) << "temp file left behind";
+
+        FaultRegistry::instance().disarm();
+        resetTraceStoreHealth();
+        EXPECT_GT(saveTraceBundle(path_, bundle_), 0u);
+        EXPECT_NE(MappedTraceBundle::open(path_), nullptr);
+    }
+
+    TempStoreDir dir_;
+    TraceBundle bundle_;
+    std::string path_;
+};
+
+TEST_F(TraceStoreFaults, ShortWriteLeavesNoPartialFile)
+{
+    // x3 defeats all three publish attempts.
+    expectFailedThenCleanPublish("trace_store.write=short-write@1x3");
+}
+
+TEST_F(TraceStoreFaults, FailedFsyncLeavesNoPartialFile)
+{
+    expectFailedThenCleanPublish("trace_store.fsync=eio@1x3");
+}
+
+TEST_F(TraceStoreFaults, FailedRenameLeavesNoPartialFile)
+{
+    expectFailedThenCleanPublish("trace_store.rename=eio@1x3");
+}
+
+TEST_F(TraceStoreFaults, TransientWriteFaultIsRetriedToSuccess)
+{
+    FaultGuard guard;
+    // Only the first attempt's write fails; the bounded retry must
+    // publish a fully valid bundle on attempt two.
+    FaultRegistry::instance().arm("trace_store.write=eio@1");
+    EXPECT_GT(saveTraceBundle(path_, bundle_), 0u);
+    EXPECT_GE(FaultRegistry::instance().hitCount("trace_store.write"), 2u);
+    EXPECT_EQ(tmpFilesIn(dir_.path), 0);
+    EXPECT_NE(MappedTraceBundle::open(path_), nullptr);
+}
+
+TEST_F(TraceStoreFaults, ReadBackEioIsACacheMissNotACrash)
+{
+    FaultGuard guard;
+    ASSERT_GT(saveTraceBundle(path_, bundle_), 0u);
+    FaultRegistry::instance().arm("trace_store.read=eio@1");
+    EXPECT_EQ(MappedTraceBundle::open(path_), nullptr);
+    // The fault was one-shot: the intact file serves the next open.
+    EXPECT_NE(MappedTraceBundle::open(path_), nullptr);
+}
+
+TEST_F(TraceStoreFaults, RepeatedPublishFailuresDegradeToBypass)
+{
+    FaultGuard guard;
+    FaultRegistry::instance().arm("trace_store.write=eio@1x*");
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(saveTraceBundle(path_, bundle_), 0u);
+    EXPECT_TRUE(traceStoreBypassed());
+
+    // Degraded: no disk activity even with the fault gone.
+    FaultRegistry::instance().disarm();
+    EXPECT_EQ(saveTraceBundle(path_, bundle_), 0u);
+    EXPECT_FALSE(fileExists(path_));
+
+    // Reset re-arms the store.
+    resetTraceStoreHealth();
+    EXPECT_GT(saveTraceBundle(path_, bundle_), 0u);
+    EXPECT_NE(MappedTraceBundle::open(path_), nullptr);
+}
+
+TEST_F(TraceStoreFaults, InjectedThrowAtStoreSitePropagatesAndCleansUp)
+{
+    FaultGuard guard;
+    FaultRegistry::instance().arm("trace_store.fsync=throw@1");
+    EXPECT_THROW(saveTraceBundle(path_, bundle_), InjectedFault);
+    EXPECT_FALSE(fileExists(path_));
+    EXPECT_EQ(tmpFilesIn(dir_.path), 0);
 }
 
 } // namespace
